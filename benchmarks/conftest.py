@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures.
+
+Simulation-driven benchmarks (Figs 8-13, Table 5) run on a reduced grid
+(three rates, 0.1 s horizon) so `pytest benchmarks/ --benchmark-only`
+completes in minutes while still regenerating every artifact and
+asserting its qualitative claims. Run the `repro.experiments.*` modules
+directly for the full-resolution sweeps.
+"""
+
+import pytest
+
+#: Reduced Memcached grid shared by the figure benchmarks.
+BENCH_RATES_KQPS = [10, 100, 400]
+BENCH_HORIZON = 0.1
+BENCH_SEED = 42
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _warm_shared_runs():
+    """Pre-warm the memoised simulation points shared across benchmarks
+    so each benchmark measures its own work, not its neighbours'."""
+    yield
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a simulation-scale function with a single round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

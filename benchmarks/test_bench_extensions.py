@@ -1,0 +1,55 @@
+"""Benchmarks for the extension artifacts: ablation, sensitivity,
+governor study and energy proportionality."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.experiments import ablation, governor_study, proportionality, sensitivity
+from repro.experiments.common import clear_cache
+
+
+def test_bench_ablation(benchmark):
+    variants = benchmark(ablation.run)
+    full = variants[0]
+    # Each single-idea ablation lands in the microsecond class.
+    for variant in variants[1:4]:
+        assert variant.round_trip > 1e-6
+    assert full.round_trip < 100e-9
+
+
+def test_bench_sensitivity(benchmark):
+    entries = benchmark(sensitivity.run)
+    # Robustness: savings stay double-digit under every perturbation.
+    for entry in entries[:-1]:  # model constants
+        assert entry.savings_low > 0.10
+        assert entry.savings_high > 0.10
+    # The workload lever dwarfs every model constant.
+    assert entries[-1].swing > max(e.swing for e in entries[:-1])
+
+
+def test_bench_governor_study(benchmark):
+    clear_cache()
+    points = run_once(
+        benchmark, governor_study.run, qps=80_000, horizon=0.08, seed=BENCH_SEED
+    )
+    aw_menu = next(
+        p for p in points if p.config == "NT_AW" and p.governor == "menu"
+    ).result
+    legacy_oracle = next(
+        p for p in points if p.config == "NT_Baseline" and p.governor == "oracle"
+    ).result
+    # The hierarchy, not the predictor, is the bottleneck.
+    assert aw_menu.avg_core_power < legacy_oracle.avg_core_power
+
+
+def test_bench_proportionality(benchmark):
+    clear_cache()
+    comparison = run_once(
+        benchmark, proportionality.run,
+        rates_kqps=[10, 100, 400], horizon=0.1, seed=BENCH_SEED,
+    )
+    assert comparison.agilewatts.dynamic_range > comparison.baseline.dynamic_range
+    assert (
+        comparison.agilewatts.proportionality_gap
+        < comparison.baseline.proportionality_gap
+    )

@@ -1,0 +1,32 @@
+"""Benchmark regenerating Fig 8 (Memcached vs baseline).
+
+Asserts the panel shapes: declining savings with load, < ~1% server-side
+worst-case degradation, negligible end-to-end impact.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_HORIZON, BENCH_RATES_KQPS, BENCH_SEED, run_once
+from repro.experiments import fig8
+from repro.experiments.common import clear_cache
+
+
+def test_bench_fig8(benchmark):
+    clear_cache()
+    points = run_once(
+        benchmark,
+        fig8.run,
+        rates_kqps=BENCH_RATES_KQPS,
+        horizon=BENCH_HORIZON,
+        seed=BENCH_SEED,
+        with_scalability=False,
+    )
+    # Panel (a): load pushes residency toward C0/C1.
+    assert points[-1].residency.get("C0", 0) > points[0].residency.get("C0", 0)
+    # Panel (b): savings decline with load and stay positive.
+    assert points[0].power_reduction > points[-1].power_reduction > 0.05
+    # Panel (c): worst case bounds expected case; e2e is negligible.
+    for p in points:
+        assert p.expected_server_degradation <= p.worst_case_server_degradation + 1e-9
+        assert p.worst_case_e2e_degradation < 0.005
+        assert p.worst_case_server_degradation < 0.02

@@ -1,0 +1,50 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Not a paper artifact — these track the performance of the event engine
+and server node so regressions in the substrate are visible.
+"""
+
+import pytest
+
+from repro.server import named_configuration, simulate
+from repro.simkit import Simulator
+from repro.workloads import memcached_workload
+
+
+def test_bench_event_engine_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(1e-6, tick)
+
+        sim.schedule(1e-6, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_10k_events) == 10_000
+
+
+def test_bench_server_node_100k_qps(benchmark):
+    def run_node():
+        return simulate(
+            memcached_workload(), named_configuration("baseline"),
+            qps=100_000, horizon=0.05, seed=1,
+        )
+
+    result = benchmark.pedantic(run_node, rounds=2, iterations=1)
+    assert result.completed > 3_000
+
+
+def test_bench_aw_design_build(benchmark):
+    from repro.core import AgileWattsDesign
+
+    def build():
+        design = AgileWattsDesign()
+        return design.breakdown
+
+    breakdown = benchmark(build)
+    assert breakdown.c6a_power == pytest.approx(0.3, rel=0.05)

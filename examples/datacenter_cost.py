@@ -1,0 +1,52 @@
+"""Datacenter cost what-if analysis (Sec 7.6 extended).
+
+Run with::
+
+    python examples/datacenter_cost.py
+
+Projects AW's yearly electricity savings for a Memcached fleet under
+different electricity prices and PUE assumptions, using simulated
+per-core power deltas at a typical 10% utilisation operating point.
+"""
+
+from repro.analytical.cost import CostModel
+from repro.experiments.common import format_table
+from repro.server import named_configuration, simulate
+from repro.workloads import memcached_workload
+
+
+def main() -> None:
+    # One representative operating point: ~10% utilisation (100 KQPS).
+    qps = 100_000
+    base = simulate(memcached_workload(), named_configuration("baseline"),
+                    qps=qps, horizon=0.2, seed=42)
+    aw = simulate(memcached_workload(), named_configuration("AW"),
+                  qps=qps, horizon=0.2, seed=42)
+    delta = base.avg_core_power - aw.avg_core_power
+    print(f"Per-core power saving at {qps // 1000}K QPS: {delta * 1000:.0f} mW")
+    print(f"({base.avg_core_power:.2f} W baseline -> {aw.avg_core_power:.2f} W AW)\n")
+
+    prices = [0.08, 0.125, 0.20]  # $/kWh: cheap hydro, paper's rate, EU-ish
+    pues = [1.1, 1.4, 1.8]        # hyperscaler, good colo, legacy DC
+    rows = []
+    for price in prices:
+        row = [f"${price:.3f}/kWh"]
+        for pue in pues:
+            model = CostModel(dollars_per_kwh=price, pue=pue)
+            musd = model.yearly_savings_fleet(delta) / 1e6
+            row.append(f"${musd:.2f}M")
+        rows.append(row)
+
+    print("Yearly savings per 100K servers (20 cores each), by price x PUE")
+    print(format_table(["Electricity"] + [f"PUE {p}" for p in pues], rows))
+
+    # Break-even framing: what silicon cost per core would AW amortise
+    # in one server lifetime (~4 years)?
+    model = CostModel()
+    per_core_4yr = model.yearly_savings_per_server(delta) * 4
+    print(f"\n4-year savings per core at the paper's rate: ${per_core_4yr:.2f}")
+    print("Any per-core implementation cost below that is net-positive.")
+
+
+if __name__ == "__main__":
+    main()

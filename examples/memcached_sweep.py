@@ -1,0 +1,61 @@
+"""Memcached load sweep: power/latency across request rates and configs.
+
+Run with::
+
+    python examples/memcached_sweep.py [--quick]
+
+Reproduces the core of the paper's evaluation story on one plot-ready
+table: for each request rate, the baseline hierarchy, the vendor-tuned
+C1-only configuration, and AW — showing that AW is the only point that
+wins *both* axes (No_C1E-level latency at far lower power).
+"""
+
+import sys
+
+from repro.experiments.common import format_table
+from repro.server import named_configuration, simulate
+from repro.units import seconds_to_us
+from repro.workloads import memcached_workload
+
+CONFIGS = ["NT_Baseline", "NT_No_C6_No_C1E", "NT_C6A_No_C6_No_C1E"]
+LABELS = {"NT_Baseline": "baseline", "NT_No_C6_No_C1E": "C1-only",
+          "NT_C6A_No_C6_No_C1E": "AW (C6A)"}
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    rates_kqps = [10, 100, 400] if quick else [10, 50, 100, 200, 300, 400, 500]
+    horizon = 0.1 if quick else 0.3
+
+    rows = []
+    for kqps in rates_kqps:
+        results = {
+            name: simulate(
+                memcached_workload(), named_configuration(name),
+                qps=kqps * 1000, horizon=horizon, seed=42,
+            )
+            for name in CONFIGS
+        }
+        base = results["NT_Baseline"]
+        aw = results["NT_C6A_No_C6_No_C1E"]
+        savings = (base.avg_core_power - aw.avg_core_power) / base.avg_core_power
+        row = [f"{kqps}K"]
+        for name in CONFIGS:
+            r = results[name]
+            row.append(f"{r.avg_core_power:.2f}W")
+            row.append(f"{seconds_to_us(r.avg_latency_e2e):.0f}us")
+        row.append(f"{savings * 100:.0f}%")
+        rows.append(row)
+
+    headers = ["QPS"]
+    for name in CONFIGS:
+        headers += [f"{LABELS[name]} P", f"{LABELS[name]} lat"]
+    headers.append("AW saves")
+    print("Memcached sweep: per-core power and avg end-to-end latency")
+    print(format_table(headers, rows))
+    print("\nReading guide: 'C1-only' beats 'baseline' on latency but burns more")
+    print("power; 'AW (C6A)' matches its latency at a fraction of the power.")
+
+
+if __name__ == "__main__":
+    main()

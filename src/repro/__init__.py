@@ -1,0 +1,50 @@
+"""repro — a full reproduction of *AgileWatts: An Energy-Efficient CPU
+Core Idle-State Architecture for Latency-Sensitive Server Applications*
+(MICRO 2022).
+
+Public API layers:
+
+- :mod:`repro.core` — the AgileWatts architecture: C-state catalogs
+  (C6A/C6AE), UFPG, CCSM, the PMA flow, latency and PPA models.
+- :mod:`repro.uarch`, :mod:`repro.power` — the microarchitecture and
+  power-delivery substrates they are built on.
+- :mod:`repro.governor`, :mod:`repro.server`, :mod:`repro.workloads` —
+  the simulated server testbed (governors, node, services).
+- :mod:`repro.analytical` — the paper's Eq. 1-4 models, validation,
+  snoop bounds and datacenter cost model.
+- :mod:`repro.experiments` — regenerate every table and figure.
+
+Quickstart::
+
+    from repro import AgileWattsDesign, simulate, named_configuration
+    from repro.workloads import memcached_workload
+
+    design = AgileWattsDesign()
+    print(design.summary_lines())
+    result = simulate(memcached_workload(), named_configuration("AW"),
+                      qps=100_000, horizon=0.2)
+    print(result.summary())
+"""
+
+from repro.core.architecture import AgileWattsDesign
+from repro.core.cstates import (
+    CState,
+    CStateCatalog,
+    agilewatts_catalog,
+    skylake_baseline_catalog,
+)
+from repro.server import RunResult, named_configuration, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AgileWattsDesign",
+    "CState",
+    "CStateCatalog",
+    "agilewatts_catalog",
+    "skylake_baseline_catalog",
+    "RunResult",
+    "named_configuration",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,86 @@
+"""Datacenter cost-savings model (Sec 7.6, Table 5).
+
+Cost savings per server per year::
+
+    (Average_Baseline_Power - Average_AW_Power) * Seconds_in_Year * Cost_per_Joule
+
+with electricity at $0.125/kWh [196]. Table 5 reports the result per 100K
+servers across the Memcached QPS sweep: $0.33M-$0.59M per year, scaling
+proportionally with data-center PUE. AW does *not* reduce cooling capital
+expenses — TDP is unchanged — so only the operational (energy) term
+appears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.errors import ConfigurationError
+from repro.units import KWH, YEAR
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Datacenter electricity cost parameters.
+
+    Attributes:
+        dollars_per_kwh: electricity price ($0.125/kWh in the paper).
+        pue: power usage effectiveness multiplier (1.0 = counting only
+            the IT load; savings grow proportionally with PUE).
+        servers: fleet size the savings are quoted for (100 000).
+        cores_per_server: cores whose savings accrue (2 sockets x 10).
+    """
+
+    dollars_per_kwh: float = 0.125
+    pue: float = 1.0
+    servers: int = 100_000
+    cores_per_server: int = 20
+
+    def __post_init__(self) -> None:
+        if self.dollars_per_kwh <= 0:
+            raise ConfigurationError("electricity price must be positive")
+        if self.pue < 1.0:
+            raise ConfigurationError("PUE cannot be below 1.0")
+        if self.servers <= 0 or self.cores_per_server <= 0:
+            raise ConfigurationError("fleet dimensions must be positive")
+
+    @property
+    def dollars_per_joule(self) -> float:
+        return self.dollars_per_kwh / KWH
+
+    def yearly_savings_per_server(self, power_delta_watts: float) -> float:
+        """Dollars saved per server per year for a given power reduction.
+
+        Raises:
+            ConfigurationError: on negative power delta.
+        """
+        if power_delta_watts < 0:
+            raise ConfigurationError("power delta must be >= 0")
+        energy_joules = power_delta_watts * YEAR
+        return energy_joules * self.dollars_per_joule * self.pue
+
+    def yearly_savings_fleet(self, per_core_delta_watts: float) -> float:
+        """Dollars saved per year across the fleet for a per-core delta."""
+        per_server = self.yearly_savings_per_server(
+            per_core_delta_watts * self.cores_per_server
+        )
+        return per_server * self.servers
+
+
+def yearly_savings_musd(
+    per_core_deltas: Mapping[str, float],
+    model: CostModel = CostModel(),
+) -> Dict[str, float]:
+    """Table 5: millions of dollars saved per year per fleet, keyed by the
+    QPS label of the Memcached sweep.
+
+    Args:
+        per_core_deltas: per-core average power reduction (watts) at each
+            operating point, typically baseline minus AW from the Fig 8
+            simulations.
+    """
+    return {
+        label: model.yearly_savings_fleet(delta) / 1e6
+        for label, delta in per_core_deltas.items()
+    }

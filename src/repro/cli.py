@@ -1,0 +1,109 @@
+"""Command-line interface: regenerate paper artifacts by name.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro run table3           # one experiment to stdout
+    python -m repro run fig8 fig10       # several
+    python -m repro run --all            # everything
+    python -m repro run --all -o results # everything, one file per id
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import importlib
+import io
+import os
+import sys
+from typing import List
+
+#: Experiment ids in a sensible reading order.
+EXPERIMENT_IDS: List[str] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "motivation",
+    "latency_breakdown",
+    "validation",
+    "snoop",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "table5",
+    "ablation",
+    "governor_study",
+    "proportionality",
+    "sensitivity",
+]
+
+
+def _load(experiment_id: str):
+    if experiment_id not in EXPERIMENT_IDS:
+        raise SystemExit(
+            f"unknown experiment {experiment_id!r}; run `python -m repro list`"
+        )
+    return importlib.import_module(f"repro.experiments.{experiment_id}")
+
+
+def cmd_list() -> int:
+    """Print the experiment ids with their one-line descriptions."""
+    for experiment_id in EXPERIMENT_IDS:
+        module = _load(experiment_id)
+        doc = (module.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"  {experiment_id:<18} {summary}")
+    return 0
+
+
+def cmd_run(ids: List[str], run_all: bool, output_dir: str = None) -> int:
+    """Run experiments, printing to stdout or one file per id."""
+    targets = EXPERIMENT_IDS if run_all else ids
+    if not targets:
+        print("nothing to run: name experiments or pass --all", file=sys.stderr)
+        return 2
+    for experiment_id in targets:
+        module = _load(experiment_id)
+        if output_dir:
+            os.makedirs(output_dir, exist_ok=True)
+            path = os.path.join(output_dir, f"{experiment_id}.txt")
+            buffer = io.StringIO()
+            with contextlib.redirect_stdout(buffer):
+                module.main()
+            with open(path, "w") as handle:
+                handle.write(buffer.getvalue())
+            print(f"wrote {path}")
+        else:
+            print(f"\n{'=' * 72}\n{experiment_id}\n{'=' * 72}")
+            module.main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate AgileWatts (MICRO 2022) tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run experiments")
+    run.add_argument("ids", nargs="*", help="experiment ids (see `list`)")
+    run.add_argument("--all", action="store_true", help="run everything")
+    run.add_argument("-o", "--output-dir", help="write one .txt per experiment")
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    return cmd_run(args.ids, args.all, args.output_dir)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,145 @@
+"""Ablations of AgileWatts' three key ideas (Sec 1 / Sec 4).
+
+AW's < 100 ns transition rests on three techniques. Removing each one
+re-introduces the corresponding C6 cost:
+
+- **no in-place retention** (UFPG idea): context must serialise to the
+  uncore S/R SRAM — ~9 us each way at the 800 MHz flow clock;
+- **no cache sleep-mode** (CCSM idea): L1/L2 must be flushed on entry
+  (~tens of us, dirtiness-dependent) and refilled after exit (charged
+  here only as the flush, the paper does likewise);
+- **no kept PLL**: exit pays the ADPLL relock (~5 us).
+
+Each ablated variant also *changes idle power*: flushed caches stop
+leaking (sleep-mode power disappears), serialised context needs no
+retention power, an off PLL saves its 7 mW. The ablation therefore
+reports both axes, showing each idea's latency-for-power trade and that
+the full design is the only one with nanosecond transitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.architecture import AgileWattsDesign
+from repro.core.latency import C6LatencyModel
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AblatedVariant:
+    """One ablation point.
+
+    Attributes:
+        name: which idea was removed ("full" = nothing removed).
+        entry_latency / exit_latency: hardware transition latencies.
+        idle_power: C6A-equivalent idle power of the variant.
+    """
+
+    name: str
+    entry_latency: float
+    exit_latency: float
+    idle_power: float
+
+    @property
+    def round_trip(self) -> float:
+        return self.entry_latency + self.exit_latency
+
+    def slowdown_vs(self, other: "AblatedVariant") -> float:
+        """How many times slower this variant's round trip is."""
+        if other.round_trip <= 0:
+            raise ConfigurationError("reference round trip must be positive")
+        return self.round_trip / other.round_trip
+
+
+class AblationStudy:
+    """Build the ablation table for a design point."""
+
+    def __init__(
+        self,
+        design: Optional[AgileWattsDesign] = None,
+        c6_model: Optional[C6LatencyModel] = None,
+    ):
+        self.design = design if design is not None else AgileWattsDesign()
+        self.c6_model = c6_model if c6_model is not None else C6LatencyModel()
+
+    def full_design(self) -> AblatedVariant:
+        """All three ideas in place: the shipping C6A."""
+        return AblatedVariant(
+            name="full",
+            entry_latency=self.design.flow.entry_latency,
+            exit_latency=self.design.flow.exit_latency,
+            idle_power=self.design.c6a_power,
+        )
+
+    def without_inplace_retention(self) -> AblatedVariant:
+        """Idea 1 removed: context serialises to the uncore S/R SRAM.
+
+        Entry and exit each gain the ~9 us serialisation; idle power
+        drops by the (tiny) ~2 mW retention power.
+        """
+        serialise = self.c6_model.context_save_time()
+        full = self.full_design()
+        return AblatedVariant(
+            name="no_inplace_retention",
+            entry_latency=full.entry_latency + serialise,
+            exit_latency=full.exit_latency + serialise,
+            idle_power=full.idle_power - self.design.ufpg.retention_power("P1"),
+        )
+
+    def without_cache_sleep_mode(self) -> AblatedVariant:
+        """Idea 2 removed: flush L1/L2 on entry, power-gate them.
+
+        Entry gains the flush (~75 us at the paper's 50%-dirty, 800 MHz
+        point); idle power drops by the whole CCSM contribution (the
+        arrays are now behind gates like everything else).
+        """
+        flush = self.c6_model.flush.flush_time(
+            self.c6_model.dirty_fraction, self.c6_model.frequency_hz
+        )
+        full = self.full_design()
+        return AblatedVariant(
+            name="no_cache_sleep_mode",
+            entry_latency=full.entry_latency + flush,
+            exit_latency=full.exit_latency,
+            idle_power=full.idle_power - self.design.ccsm.idle_power("P1"),
+        )
+
+    def without_kept_pll(self) -> AblatedVariant:
+        """Idea 3 removed: power the ADPLL off; exit pays the relock."""
+        full = self.full_design()
+        return AblatedVariant(
+            name="no_kept_pll",
+            entry_latency=full.entry_latency,
+            exit_latency=full.exit_latency + self.design.adpll.relock_time,
+            idle_power=full.idle_power - self.design.adpll.power_watts,
+        )
+
+    def c6_reference(self) -> AblatedVariant:
+        """All three removed simultaneously ~= legacy C6."""
+        return AblatedVariant(
+            name="legacy_c6",
+            entry_latency=self.c6_model.entry_latency,
+            exit_latency=self.c6_model.exit_latency,
+            idle_power=0.1,  # Table 1 C6 power
+        )
+
+    def variants(self) -> List[AblatedVariant]:
+        """All ablation points, full design first."""
+        return [
+            self.full_design(),
+            self.without_inplace_retention(),
+            self.without_cache_sleep_mode(),
+            self.without_kept_pll(),
+            self.c6_reference(),
+        ]
+
+    def latency_contributions(self) -> Dict[str, float]:
+        """Round-trip latency each idea saves (ablated minus full)."""
+        full = self.full_design()
+        return {
+            "inplace_retention": self.without_inplace_retention().round_trip - full.round_trip,
+            "cache_sleep_mode": self.without_cache_sleep_mode().round_trip - full.round_trip,
+            "kept_pll": self.without_kept_pll().round_trip - full.round_trip,
+        }

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised errors derive from :class:`ReproError` so applications
+can catch the whole family with one handler while still letting genuine
+bugs (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """An invariant of the discrete-event simulation was violated."""
+
+
+class ConfigurationError(ReproError):
+    """A model or experiment was configured with inconsistent parameters."""
+
+
+class CStateError(ConfigurationError):
+    """A C-state definition or transition request is invalid."""
+
+
+class PowerModelError(ConfigurationError):
+    """A power/PPA model was given out-of-range inputs."""
+
+
+class WorkloadError(ConfigurationError):
+    """A workload or load-generator parameterisation is invalid."""

@@ -1,0 +1,15 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes a ``run(...)`` function returning structured data and
+a ``main()`` that prints the same rows/series the paper reports. See
+DESIGN.md's experiment index for the mapping.
+
+Usage::
+
+    python -m repro.experiments.fig8       # regenerate Fig 8 series
+    python -m repro.experiments.table3     # regenerate Table 3
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

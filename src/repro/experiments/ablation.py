@@ -1,0 +1,51 @@
+"""Ablation experiment: what each of AW's three ideas buys.
+
+Not a numbered paper artifact — it quantifies the Sec 1/4 claims that
+(1) in-place retention saves ~10-20 us of serialisation, (2) unflushed
+caches save tens of microseconds, and (3) the kept PLL saves a relock —
+i.e. that *every* idea is necessary for nanosecond transitions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.ablation import AblatedVariant, AblationStudy
+from repro.experiments.common import format_table
+from repro.units import pretty_power, pretty_time
+
+
+def run() -> List[AblatedVariant]:
+    """All ablation variants for the default design point."""
+    return AblationStudy().variants()
+
+
+def main() -> None:
+    study = AblationStudy()
+    variants = study.variants()
+    full = variants[0]
+
+    print("Ablation: removing each AW idea from the C6A design")
+    rows = []
+    for v in variants:
+        rows.append(
+            [
+                v.name,
+                pretty_time(v.entry_latency),
+                pretty_time(v.exit_latency),
+                pretty_time(v.round_trip),
+                f"{v.slowdown_vs(full):,.0f}x" if v is not full else "1x",
+                pretty_power(v.idle_power),
+            ]
+        )
+    print(format_table(
+        ["Variant", "Entry", "Exit", "Round trip", "vs full", "Idle power"], rows
+    ))
+
+    print("\nRound-trip latency saved by each idea:")
+    for idea, saved in study.latency_contributions().items():
+        print(f"  {idea}: {pretty_time(saved)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Shared experiment plumbing: cached simulation runs and formatting.
+
+Experiments share simulated points (Fig 10 reuses Fig 9's baselines;
+Table 5 reuses Fig 8's sweep), so runs are memoised per process keyed by
+their full parameterisation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.server import RunResult, named_configuration, simulate
+from repro.workloads import (
+    kafka_workload,
+    memcached_workload,
+    mysql_workload,
+)
+from repro.workloads.base import Workload
+
+#: Default simulation horizon (seconds). Long enough for stable p99 at the
+#: lowest Memcached rate (10 KQPS x 0.4 s = 4 000 requests).
+DEFAULT_HORIZON = 0.4
+
+#: Default core count: one socket of the Xeon Silver 4114.
+DEFAULT_CORES = 10
+
+#: Default seed: every experiment is reproducible bit-for-bit.
+DEFAULT_SEED = 42
+
+_WORKLOAD_FACTORIES = {
+    "memcached": memcached_workload,
+    "kafka": kafka_workload,
+    "mysql": mysql_workload,
+}
+
+_run_cache: Dict[Tuple, RunResult] = {}
+
+
+def get_workload(name: str) -> Workload:
+    """Fresh workload instance by name (fresh RNG streams)."""
+    return _WORKLOAD_FACTORIES[name]()
+
+
+def run_point(
+    workload_name: str,
+    config_name: str,
+    qps: float,
+    horizon: float = DEFAULT_HORIZON,
+    cores: int = DEFAULT_CORES,
+    seed: int = DEFAULT_SEED,
+) -> RunResult:
+    """Simulate one (workload, configuration, rate) point, memoised."""
+    key = (workload_name, config_name, qps, horizon, cores, seed)
+    if key not in _run_cache:
+        _run_cache[key] = simulate(
+            get_workload(workload_name),
+            named_configuration(config_name),
+            qps=qps,
+            cores=cores,
+            horizon=horizon,
+            seed=seed,
+        )
+    return _run_cache[key]
+
+
+def run_sweep(
+    workload_name: str,
+    config_name: str,
+    rates_qps: Sequence[float],
+    horizon: float = DEFAULT_HORIZON,
+    cores: int = DEFAULT_CORES,
+    seed: int = DEFAULT_SEED,
+) -> List[RunResult]:
+    """Simulate a rate sweep for one configuration."""
+    return [
+        run_point(workload_name, config_name, qps, horizon, cores, seed)
+        for qps in rates_qps
+    ]
+
+
+def clear_cache() -> None:
+    """Drop memoised runs (benchmarks measuring cold runs use this)."""
+    _run_cache.clear()
+
+
+# -- formatting helpers ------------------------------------------------------
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width text table for experiment reports."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def pct(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{value * 100:.{digits}f}%"

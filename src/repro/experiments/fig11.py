@@ -1,0 +1,106 @@
+"""Fig 11: the effect of idle states on Turbo performance.
+
+Six configurations over the Memcached sweep — with and without Turbo, for
+C6-disabled, C6+C1E-disabled, and AW's C6A-only hierarchy:
+
+    NT_No_C6,           NT_No_C6_No_C1E,     NT_C6A_No_C6_No_C1E
+    T_No_C6,            T_No_C6_No_C1E,      T_C6A_No_C6_No_C1E
+
+Expected observations (Sec 7.3):
+
+1. with Turbo off, disabling C1E helps latency (no 10 us transitions);
+2. enabling Turbo while C1E is disabled does NOT improve performance —
+   idle cores burn C1 power, so no thermal headroom accumulates;
+3. with Turbo on, T_No_C6 ~= T_No_C6_No_C1E — C1E's transition overhead
+   offsets its thermal-capacitance gains;
+4. C6A + Turbo (the dashed green line) gets both: C1E-free latency *and*
+   headroom, the best average/tail latency of the set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.experiments.common import (
+    DEFAULT_CORES,
+    DEFAULT_HORIZON,
+    DEFAULT_SEED,
+    format_table,
+    run_point,
+)
+from repro.server import RunResult
+from repro.units import seconds_to_us
+from repro.workloads.memcached import MEMCACHED_RATES_KQPS
+
+NO_TURBO_CONFIGS = ["NT_No_C6", "NT_No_C6_No_C1E", "NT_C6A_No_C6_No_C1E"]
+TURBO_CONFIGS = ["T_No_C6", "T_No_C6_No_C1E", "T_C6A_No_C6_No_C1E"]
+
+
+@dataclass
+class Fig11Sweep:
+    """Latency series for all six configurations."""
+
+    results: Dict[str, List[RunResult]]
+    rates_kqps: Sequence[float]
+
+    def avg_latency_us(self, config: str) -> List[float]:
+        return [seconds_to_us(r.avg_latency_e2e) for r in self.results[config]]
+
+    def tail_latency_us(self, config: str) -> List[float]:
+        return [seconds_to_us(r.tail_latency_e2e) for r in self.results[config]]
+
+    def turbo_grant_rates(self, config: str) -> List[float]:
+        return [r.turbo_grant_rate for r in self.results[config]]
+
+
+def run(
+    rates_kqps: Sequence[float] = None,
+    horizon: float = DEFAULT_HORIZON,
+    cores: int = DEFAULT_CORES,
+    seed: int = DEFAULT_SEED,
+) -> Fig11Sweep:
+    """Regenerate the Fig 11 sweep."""
+    rates_kqps = rates_kqps if rates_kqps is not None else MEMCACHED_RATES_KQPS
+    configs = NO_TURBO_CONFIGS + TURBO_CONFIGS
+    results = {
+        name: [
+            run_point("memcached", name, kqps * 1000.0, horizon, cores, seed)
+            for kqps in rates_kqps
+        ]
+        for name in configs
+    }
+    return Fig11Sweep(results=results, rates_kqps=list(rates_kqps))
+
+
+def main() -> None:
+    sweep = run()
+    for title, configs, tail in [
+        ("Fig 11(a): No Turbo - avg latency (us)", NO_TURBO_CONFIGS, False),
+        ("Fig 11(b): Turbo - avg latency (us)", TURBO_CONFIGS, False),
+        ("Fig 11(c): No Turbo - tail latency (us)", NO_TURBO_CONFIGS, True),
+        ("Fig 11(d): Turbo - tail latency (us)", TURBO_CONFIGS, True),
+    ]:
+        print(title)
+        rows = []
+        for i, kqps in enumerate(sweep.rates_kqps):
+            vals = [
+                sweep.tail_latency_us(c)[i] if tail else sweep.avg_latency_us(c)[i]
+                for c in configs
+            ]
+            rows.append([f"{kqps:.0f}K"] + [f"{v:.1f}" for v in vals])
+        print(format_table(["QPS"] + configs, rows))
+        print()
+
+    print("Turbo grant rates (fraction of busy-period starts boosted)")
+    rows = []
+    for i, kqps in enumerate(sweep.rates_kqps):
+        rows.append(
+            [f"{kqps:.0f}K"]
+            + [f"{sweep.turbo_grant_rates(c)[i] * 100:.0f}%" for c in TURBO_CONFIGS]
+        )
+    print(format_table(["QPS"] + TURBO_CONFIGS, rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""Fig 12: MySQL (sysbench OLTP) evaluation at low/mid/high rates.
+
+Panels:
+
+(a) C-state residency of the baseline (C1 + C6 enabled, Turbo on);
+(b) residency with C6 disabled — all that C6 time becomes C1;
+(c) tail and average latency reduction from disabling C6;
+(d) AW average power reduction (C6A replacing that C1 time) vs the
+    C6-disabled configuration.
+
+Expected shape (Sec 7.4): the baseline holds >= 40% C6 residency at every
+rate, disabling C6 improves latency by ~4-10%, and C6A then recovers
+~22-56% average power that the C6-disable threw away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+from repro.experiments.common import (
+    DEFAULT_CORES,
+    DEFAULT_SEED,
+    format_table,
+    pct,
+    run_point,
+)
+from repro.server import RunResult
+from repro.server.metrics import compare_power
+from repro.workloads.mysql import MYSQL_RATES
+
+#: MySQL transactions are long; a longer horizon keeps request counts up.
+MYSQL_HORIZON = 4.0
+
+BASELINE = "T_Baseline_No_C1E"
+NO_C6 = "T_No_C6_No_C1E"
+AW = "T_C6A_No_C6_No_C1E"
+
+
+@dataclass
+class Fig12Point:
+    """All Fig 12 observables at one operating point."""
+
+    label: str
+    qps: float
+    baseline: RunResult
+    no_c6: RunResult
+    aw: RunResult
+
+    @property
+    def baseline_residency(self) -> Dict[str, float]:
+        return self.baseline.residency
+
+    @property
+    def no_c6_residency(self) -> Dict[str, float]:
+        return self.no_c6.residency
+
+    @property
+    def avg_latency_reduction(self) -> float:
+        """Panel (c): average end-to-end latency gain from disabling C6."""
+        base = self.baseline.avg_latency_e2e
+        return (base - self.no_c6.avg_latency_e2e) / base if base > 0 else 0.0
+
+    @property
+    def tail_latency_reduction(self) -> float:
+        base = self.baseline.tail_latency_e2e
+        return (base - self.no_c6.tail_latency_e2e) / base if base > 0 else 0.0
+
+    @property
+    def aw_power_reduction(self) -> float:
+        """Panel (d): AW's C6A vs the C6-disabled configuration."""
+        return compare_power(self.no_c6, self.aw)
+
+
+def run(
+    rates: Mapping[str, float] = None,
+    horizon: float = MYSQL_HORIZON,
+    cores: int = DEFAULT_CORES,
+    seed: int = DEFAULT_SEED,
+    workload_name: str = "mysql",
+) -> List[Fig12Point]:
+    """Regenerate the Fig 12 operating points."""
+    rates = rates if rates is not None else MYSQL_RATES
+    points = []
+    for label, qps in rates.items():
+        points.append(
+            Fig12Point(
+                label=label,
+                qps=qps,
+                baseline=run_point(workload_name, BASELINE, qps, horizon, cores, seed),
+                no_c6=run_point(workload_name, NO_C6, qps, horizon, cores, seed),
+                aw=run_point(workload_name, AW, qps, horizon, cores, seed),
+            )
+        )
+    return points
+
+
+def main() -> None:
+    points = run()
+    states = sorted({s for p in points for s in p.baseline_residency})
+    print("Fig 12(a): baseline C-state residency")
+    rows = [
+        [p.label] + [pct(p.baseline_residency.get(s, 0.0), 0) for s in states]
+        for p in points
+    ]
+    print(format_table(["Rate"] + states, rows))
+
+    states_b = sorted({s for p in points for s in p.no_c6_residency})
+    print("\nFig 12(b): residency with C6 disabled")
+    rows = [
+        [p.label] + [pct(p.no_c6_residency.get(s, 0.0), 0) for s in states_b]
+        for p in points
+    ]
+    print(format_table(["Rate"] + states_b, rows))
+
+    print("\nFig 12(c): latency reduction from disabling C6")
+    rows = [
+        [p.label, pct(p.tail_latency_reduction), pct(p.avg_latency_reduction)]
+        for p in points
+    ]
+    print(format_table(["Rate", "Tail lat", "Avg lat"], rows))
+
+    print("\nFig 12(d): AW C6A average power reduction vs C6-disabled")
+    rows = [[p.label, pct(p.aw_power_reduction)] for p in points]
+    print(format_table(["Rate", "AvgP reduction"], rows))
+
+
+if __name__ == "__main__":
+    main()

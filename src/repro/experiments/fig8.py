@@ -1,0 +1,213 @@
+"""Fig 8: AW vs. the baseline configuration on Memcached.
+
+Four panels, regenerated over the 10-500 KQPS sweep with the baseline
+configuration (P-states disabled, Turbo and C-states enabled):
+
+(a) C-state residency of the baseline;
+(b) AW average-power reduction and average/tail latency degradation when
+    C1/C1E are replaced by C6A/C6AE;
+(c) average response-time degradation, worst case (one transition per
+    query) vs expected case (observed transitions), server-side and
+    end-to-end;
+(d) performance scalability from 2.0 to 2.2 GHz.
+
+Expected shape: power savings decline from ~40-50% at low load to ~10-15%
+at 500 KQPS with latency degradation < ~1.3%, and end-to-end degradation
+negligible because the 117 us network latency dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.cstates import C6A_EXTRA_TRANSITION
+from repro.experiments.common import (
+    DEFAULT_CORES,
+    DEFAULT_HORIZON,
+    DEFAULT_SEED,
+    format_table,
+    get_workload,
+    pct,
+    run_point,
+)
+from repro.server import RunResult, named_configuration, simulate
+from repro.server.config import ServerConfiguration
+from repro.workloads.memcached import MEMCACHED_RATES_KQPS
+
+#: Replaced idle states whose transitions pay the ~100 ns AW overhead.
+_REPLACED = ("C1", "C1E", "C6A", "C6AE")
+
+
+@dataclass
+class Fig8Point:
+    """All Fig 8 observables at one request rate."""
+
+    qps: float
+    baseline: RunResult
+    aw: RunResult
+    power_reduction: float
+    avg_latency_degradation: float
+    tail_latency_degradation: float
+    worst_case_server_degradation: float
+    worst_case_e2e_degradation: float
+    expected_server_degradation: float
+    expected_e2e_degradation: float
+    scalability: Optional[float] = None
+
+    @property
+    def residency(self) -> Dict[str, float]:
+        """Panel (a): baseline C-state residency."""
+        return self.baseline.residency
+
+
+def _per_query_overhead(workload, derate: float, transitions_per_query: float) -> float:
+    """Extra time a query pays under AW: slower scalable work + its share
+    of C6A/C6AE transition overheads."""
+    scalable_mean = workload.service.scalable.mean
+    slowdown = scalable_mean * (1.0 / (1.0 - derate) - 1.0)
+    return slowdown + transitions_per_query * C6A_EXTRA_TRANSITION
+
+
+def run(
+    rates_kqps: Sequence[float] = None,
+    horizon: float = DEFAULT_HORIZON,
+    cores: int = DEFAULT_CORES,
+    seed: int = DEFAULT_SEED,
+    with_scalability: bool = True,
+) -> List[Fig8Point]:
+    """Regenerate all Fig 8 panels."""
+    rates_kqps = rates_kqps if rates_kqps is not None else MEMCACHED_RATES_KQPS
+    workload = get_workload("memcached")
+    aw_config = named_configuration("AW")
+    derate = aw_config.frequency_derate
+
+    points: List[Fig8Point] = []
+    for kqps in rates_kqps:
+        qps = kqps * 1000.0
+        base = run_point("memcached", "baseline", qps, horizon, cores, seed)
+        aw = run_point("memcached", "AW", qps, horizon, cores, seed)
+
+        power_reduction = (
+            (base.avg_core_power - aw.avg_core_power) / base.avg_core_power
+        )
+        avg_deg = (aw.avg_latency - base.avg_latency) / base.avg_latency
+        tail_deg = (aw.tail_latency - base.tail_latency) / base.tail_latency
+
+        # Panel (c): worst case charges one transition per query.
+        worst_extra = _per_query_overhead(workload, derate, transitions_per_query=1.0)
+        base_server = base.avg_latency
+        base_e2e = base.avg_latency_e2e
+        worst_server = worst_extra / base_server
+        worst_e2e = worst_extra / base_e2e
+        # Expected case uses the transitions actually observed.
+        replaced_rate = sum(
+            base.transitions_per_second.get(n, 0.0) for n in _REPLACED
+        ) * cores  # aggregate transitions/second over the node
+        transitions_per_query = replaced_rate / qps if qps > 0 else 0.0
+        expected_extra = _per_query_overhead(workload, derate, transitions_per_query)
+        expected_server = expected_extra / base_server
+        expected_e2e = expected_extra / base_e2e
+
+        scalability = None
+        if with_scalability:
+            scalability = _measured_scalability(qps, horizon, cores, seed)
+
+        points.append(
+            Fig8Point(
+                qps=qps,
+                baseline=base,
+                aw=aw,
+                power_reduction=power_reduction,
+                avg_latency_degradation=avg_deg,
+                tail_latency_degradation=tail_deg,
+                worst_case_server_degradation=worst_server,
+                worst_case_e2e_degradation=worst_e2e,
+                expected_server_degradation=expected_server,
+                expected_e2e_degradation=expected_e2e,
+                scalability=scalability,
+            )
+        )
+    return points
+
+
+def _measured_scalability(
+    qps: float, horizon: float, cores: int, seed: int
+) -> float:
+    """Panel (d): performance scalability from 2.0 to 2.2 GHz, measured as
+    the latency-based performance gain per unit frequency gain.
+
+    Emulates 2.0 GHz by derating the 2.2 GHz baseline configuration by
+    1 - 2.0/2.2.
+    """
+    derate_to_2ghz = 1.0 - 2.0 / 2.2
+    slow_config = ServerConfiguration(
+        name="baseline_2.0GHz",
+        catalog=named_configuration("baseline").catalog,
+        turbo_enabled=True,
+        frequency_derate=derate_to_2ghz,
+    )
+    fast = run_point("memcached", "baseline", qps, horizon, cores, seed)
+    slow = simulate(
+        get_workload("memcached"), slow_config, qps=qps, cores=cores,
+        horizon=horizon, seed=seed,
+    )
+    perf_gain = slow.avg_latency / fast.avg_latency - 1.0
+    freq_gain = 2.2 / 2.0 - 1.0
+    return max(0.0, perf_gain / freq_gain)
+
+
+def average_power_reduction(points: Sequence[Fig8Point]) -> float:
+    """The 'Avg' bar of Fig 8b (paper: ~23.5% vs its baseline)."""
+    return sum(p.power_reduction for p in points) / len(points)
+
+
+def main() -> None:
+    points = run()
+    states = sorted({s for p in points for s in p.residency})
+    print("Fig 8(a): baseline C-state residency")
+    rows = [
+        [f"{p.qps / 1000:.0f}K"] + [pct(p.residency.get(s, 0.0), 0) for s in states]
+        for p in points
+    ]
+    print(format_table(["QPS"] + states, rows))
+
+    print("\nFig 8(b): AW power reduction and latency degradation")
+    rows = [
+        [
+            f"{p.qps / 1000:.0f}K",
+            pct(p.power_reduction),
+            pct(p.avg_latency_degradation, 2),
+            pct(p.tail_latency_degradation, 2),
+        ]
+        for p in points
+    ]
+    rows.append(["Avg", pct(average_power_reduction(points)), "", ""])
+    print(format_table(["QPS", "AvgP reduction", "Avg lat deg", "Tail lat deg"], rows))
+
+    print("\nFig 8(c): response-time degradation (worst vs expected case)")
+    rows = [
+        [
+            f"{p.qps / 1000:.0f}K",
+            pct(p.worst_case_e2e_degradation, 2),
+            pct(p.worst_case_server_degradation, 2),
+            pct(p.expected_e2e_degradation, 2),
+            pct(p.expected_server_degradation, 2),
+        ]
+        for p in points
+    ]
+    print(
+        format_table(
+            ["QPS", "Worst e2e", "Worst server", "Expected e2e", "Expected server"],
+            rows,
+        )
+    )
+
+    if points[0].scalability is not None:
+        print("\nFig 8(d): performance scalability (2.0 -> 2.2 GHz)")
+        rows = [[f"{p.qps / 1000:.0f}K", pct(p.scalability, 0)] for p in points]
+        print(format_table(["QPS", "Scalability"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Fig 9: the three vendor-tuned configurations on Memcached.
+
+Sweeps NT_Baseline (Turbo off), NT_No_C6 (Turbo and C6 off) and
+NT_No_C6_No_C1E (Turbo, C6 and C1E off) and reports (a) average latency,
+(b) tail latency, (c) package power, (d) C-state residency.
+
+Expected shape (Sec 7.2): NT_No_C6_No_C1E has the lowest latency but the
+highest power across the sweep — disabling C1E removes its 10 us
+transition penalty but parks idle cores in power-hungry C1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.experiments.common import (
+    DEFAULT_CORES,
+    DEFAULT_HORIZON,
+    DEFAULT_SEED,
+    format_table,
+    pct,
+    run_point,
+)
+from repro.server import RunResult
+from repro.units import seconds_to_us
+from repro.workloads.memcached import MEMCACHED_RATES_KQPS
+
+#: The three Sec 7.2 configurations, in the paper's order.
+TUNED_CONFIGS = ["NT_Baseline", "NT_No_C6", "NT_No_C6_No_C1E"]
+
+
+@dataclass
+class Fig9Sweep:
+    """Results of the tuned-configuration sweep, keyed by config name."""
+
+    results: Dict[str, List[RunResult]]
+    rates_kqps: Sequence[float]
+
+    def series(self, config: str) -> List[RunResult]:
+        return self.results[config]
+
+
+def run(
+    rates_kqps: Sequence[float] = None,
+    horizon: float = DEFAULT_HORIZON,
+    cores: int = DEFAULT_CORES,
+    seed: int = DEFAULT_SEED,
+    configs: Sequence[str] = None,
+) -> Fig9Sweep:
+    """Regenerate the Fig 9 sweep."""
+    rates_kqps = rates_kqps if rates_kqps is not None else MEMCACHED_RATES_KQPS
+    configs = configs if configs is not None else TUNED_CONFIGS
+    results = {
+        name: [
+            run_point("memcached", name, kqps * 1000.0, horizon, cores, seed)
+            for kqps in rates_kqps
+        ]
+        for name in configs
+    }
+    return Fig9Sweep(results=results, rates_kqps=list(rates_kqps))
+
+
+def main() -> None:
+    sweep = run()
+    configs = list(sweep.results)
+
+    print("Fig 9(a): average end-to-end latency (us)")
+    rows = []
+    for i, kqps in enumerate(sweep.rates_kqps):
+        rows.append(
+            [f"{kqps:.0f}K"]
+            + [f"{seconds_to_us(sweep.results[c][i].avg_latency_e2e):.1f}" for c in configs]
+        )
+    print(format_table(["QPS"] + configs, rows))
+
+    print("\nFig 9(b): tail (p99) end-to-end latency (us)")
+    rows = []
+    for i, kqps in enumerate(sweep.rates_kqps):
+        rows.append(
+            [f"{kqps:.0f}K"]
+            + [f"{seconds_to_us(sweep.results[c][i].tail_latency_e2e):.1f}" for c in configs]
+        )
+    print(format_table(["QPS"] + configs, rows))
+
+    print("\nFig 9(c): package power (W)")
+    rows = []
+    for i, kqps in enumerate(sweep.rates_kqps):
+        rows.append(
+            [f"{kqps:.0f}K"]
+            + [f"{sweep.results[c][i].package_power:.1f}" for c in configs]
+        )
+    print(format_table(["QPS"] + configs, rows))
+
+    print("\nFig 9(d): C-state residency per configuration")
+    states = sorted(
+        {s for series in sweep.results.values() for r in series for s in r.residency}
+    )
+    rows = []
+    for i, kqps in enumerate(sweep.rates_kqps):
+        for c in configs:
+            r = sweep.results[c][i]
+            rows.append(
+                [f"{kqps:.0f}K", c] + [pct(r.residency.get(s, 0.0), 0) for s in states]
+            )
+    print(format_table(["QPS", "Config"] + states, rows))
+
+
+if __name__ == "__main__":
+    main()

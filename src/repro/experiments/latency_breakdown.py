@@ -1,0 +1,96 @@
+"""Sec 3 / Sec 5.2: transition-latency breakdowns and the headline ratio.
+
+Regenerates:
+
+- the C6 entry/exit phase breakdown (flush ~75 us at 50% dirty / 800 MHz,
+  context save ~9 us, hardware wake ~10 us, restore ~20 us; ~87 us entry,
+  ~30 us hw exit, ~133 us worst-case round trip);
+- the C6A/C6AE step-by-step breakdown (< 20 ns entry, < 80 ns exit);
+- the transition-time ratio (paper: up to ~900x, three orders of
+  magnitude);
+- a flush-time sensitivity grid over dirty fraction and frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.latency import (
+    C6ALatencyModel,
+    C6LatencyModel,
+    CacheFlushModel,
+    transition_speedup,
+)
+from repro.experiments.common import format_table
+from repro.units import GHZ, MHZ, pretty_time
+
+
+@dataclass
+class LatencyReport:
+    """All latency observables of the experiment."""
+
+    c6_breakdown: Dict[str, float]
+    c6_entry: float
+    c6_exit: float
+    c6_round_trip: float
+    c6a_breakdown: Dict[str, float]
+    c6a_entry: float
+    c6a_exit: float
+    c6a_round_trip: float
+    speedup: float
+    flush_grid: List[Tuple[float, float, float]]  # (dirty, freq_hz, seconds)
+
+
+def run() -> LatencyReport:
+    """Build the full latency report from the models."""
+    c6 = C6LatencyModel()
+    c6a = C6ALatencyModel()
+    flush = CacheFlushModel()
+    grid = []
+    for dirty in (0.0, 0.25, 0.50, 0.75, 1.0):
+        for freq in (800 * MHZ, 2.2 * GHZ):
+            grid.append((dirty, freq, flush.flush_time(dirty, freq)))
+    return LatencyReport(
+        c6_breakdown=c6.breakdown(),
+        c6_entry=c6.entry_latency,
+        c6_exit=c6.exit_latency,
+        c6_round_trip=c6.transition_time,
+        c6a_breakdown=c6a.breakdown(),
+        c6a_entry=c6a.entry_latency,
+        c6a_exit=c6a.exit_latency,
+        c6a_round_trip=c6a.transition_time,
+        speedup=transition_speedup(c6, c6a),
+        flush_grid=grid,
+    )
+
+
+def main() -> None:
+    report = run()
+    print("C6 latency breakdown (50% dirty cache, 800 MHz flow clock)")
+    rows = [[phase, pretty_time(t)] for phase, t in report.c6_breakdown.items()]
+    rows.append(["entry total", pretty_time(report.c6_entry)])
+    rows.append(["exit total (hw)", pretty_time(report.c6_exit)])
+    rows.append(["worst-case round trip", pretty_time(report.c6_round_trip)])
+    print(format_table(["Phase", "Latency"], rows))
+
+    print("\nC6A latency breakdown (500 MHz PMA clock)")
+    rows = [[step, pretty_time(t)] for step, t in report.c6a_breakdown.items()]
+    rows.append(["entry total", pretty_time(report.c6a_entry)])
+    rows.append(["exit total", pretty_time(report.c6a_exit)])
+    rows.append(["round trip", pretty_time(report.c6a_round_trip)])
+    print(format_table(["Step", "Latency"], rows))
+
+    print(f"\ntransition speedup C6 -> C6A: {report.speedup:.0f}x "
+          "(paper: up to ~900x, i.e. three orders of magnitude)")
+
+    print("\nflush-time sensitivity (dirty fraction x frequency)")
+    rows = [
+        [f"{dirty * 100:.0f}%", f"{freq / 1e6:.0f} MHz", pretty_time(t)]
+        for dirty, freq, t in report.flush_grid
+    ]
+    print(format_table(["Dirty", "Frequency", "Flush time"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Energy-proportionality experiment (Sec 7.1's framing, extended).
+
+Builds the power-vs-load curves of the baseline and AW hierarchies from
+the Memcached sweep and reports the two proportionality metrics. The
+expected outcome: AW widens the dynamic range and shrinks the
+proportionality gap — the server gets *closer to energy proportional*
+exactly in the low-utilisation band datacenters occupy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analytical.proportionality import (
+    ProportionalityReport,
+    analyze_curve,
+    curve_from_results,
+)
+from repro.experiments.common import (
+    DEFAULT_CORES,
+    DEFAULT_HORIZON,
+    DEFAULT_SEED,
+    format_table,
+    run_sweep,
+)
+from repro.workloads.memcached import MEMCACHED_RATES_KQPS
+
+
+@dataclass
+class ProportionalityComparison:
+    baseline: ProportionalityReport
+    agilewatts: ProportionalityReport
+
+
+def run(
+    rates_kqps: Sequence[float] = None,
+    horizon: float = DEFAULT_HORIZON,
+    cores: int = DEFAULT_CORES,
+    seed: int = DEFAULT_SEED,
+) -> ProportionalityComparison:
+    """Build and analyse both power-vs-load curves."""
+    rates_kqps = rates_kqps if rates_kqps is not None else MEMCACHED_RATES_KQPS
+    rates_qps = [k * 1000.0 for k in rates_kqps]
+    base = run_sweep("memcached", "baseline", rates_qps, horizon, cores, seed)
+    aw = run_sweep("memcached", "AW", rates_qps, horizon, cores, seed)
+    return ProportionalityComparison(
+        baseline=analyze_curve(curve_from_results(base)),
+        agilewatts=analyze_curve(curve_from_results(aw)),
+    )
+
+
+def main() -> None:
+    comparison = run()
+    print("Energy proportionality: baseline vs AW (Memcached sweep)")
+    rows = []
+    for name, report in (
+        ("baseline", comparison.baseline),
+        ("AW", comparison.agilewatts),
+    ):
+        rows.append(
+            [
+                name,
+                f"{report.curve[0][1]:.2f} W",
+                f"{report.curve[-1][1]:.2f} W",
+                f"{report.dynamic_range:.2f}x",
+                f"{report.proportionality_gap * 100:.1f}%",
+            ]
+        )
+    print(
+        format_table(
+            ["Config", "Lightest-load power", "Peak power", "Dynamic range",
+             "Proportionality gap"],
+            rows,
+        )
+    )
+    print("\ncurves (utilisation -> power/core):")
+    for name, report in (("baseline", comparison.baseline), ("AW", comparison.agilewatts)):
+        series = ", ".join(f"{u * 100:.0f}%:{p:.2f}W" for u, p in report.curve)
+        print(f"  {name}: {series}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Table 1: the C-state hierarchy with AW's new states.
+
+Regenerates the merged hierarchy the paper's Table 1 shows — the Skylake
+baseline states (C0/C1/C1E/C6) interleaved with AW's C6A/C6AE, each with
+its transition time, target residency and per-core power.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.architecture import AgileWattsDesign
+from repro.core.cstates import skylake_baseline_catalog
+from repro.experiments.common import format_table
+from repro.units import pretty_power, pretty_time
+
+
+def run(design: AgileWattsDesign = None) -> List[Tuple[str, str, str, str]]:
+    """Rows of (state, transition time, target residency, power/core) in
+    the paper's Table 1 order."""
+    design = design if design is not None else AgileWattsDesign()
+    baseline = skylake_baseline_catalog()
+    aw = design.catalog()
+
+    def row(catalog, name: str) -> Tuple[str, str, str, str]:
+        state = catalog.get(name)
+        freq = f" ({state.frequency.value})" if state.frequency else ""
+        if state.is_active:
+            return (f"{name}{freq}", "N/A", "N/A", pretty_power(state.power_watts))
+        return (
+            f"{name}{freq}",
+            pretty_time(state.transition_time),
+            pretty_time(state.target_residency),
+            pretty_power(state.power_watts),
+        )
+
+    from repro.core.cstates import C0_PN_POWER, FrequencyPoint
+
+    rows = [
+        row(baseline, "C0"),
+        ("C0 (Pn)", "N/A", "N/A", pretty_power(C0_PN_POWER)),
+        row(baseline, "C1"),
+        row(aw, "C6A"),
+        row(baseline, "C1E"),
+        row(aw, "C6AE"),
+        row(baseline, "C6"),
+    ]
+    return rows
+
+
+def main() -> None:
+    print("Table 1: core C-states (Skylake baseline + AW's C6A/C6AE)")
+    print(
+        format_table(
+            ["Core C-state", "Transition time", "Target residency", "Power per core"],
+            run(),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

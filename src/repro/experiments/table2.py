@@ -1,0 +1,40 @@
+"""Table 2: per-component core state in each C-state.
+
+Shows what each C-state does to the clocks, ADPLL, private caches, voltage
+and context — the matrix that makes AW's design visible at a glance: C6A
+keeps the PLL on and caches coherent like C1, but power-gates with
+in-place save/restore like no existing state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.cstates import ComponentStates, _COMPONENT_STATES
+from repro.experiments.common import format_table
+
+#: Paper row order.
+_ORDER = ["C0", "C1", "C6A", "C1E", "C6AE", "C6"]
+
+
+def run() -> List[Tuple[str, str, str, str, str, str]]:
+    """Rows of (state, clocks, adpll, l1/l2, voltage, context)."""
+    rows = []
+    for name in _ORDER:
+        c: ComponentStates = _COMPONENT_STATES[name]
+        rows.append((name, c.clocks, c.adpll, c.l1l2, c.voltage, c.context))
+    return rows
+
+
+def main() -> None:
+    print("Table 2: Skylake server core component states per C-state")
+    print(
+        format_table(
+            ["C-State", "Clocks", "ADPLL", "L1/L2 Cache", "Voltage", "Context"],
+            run(),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Table 4: comparison of core power-gating schemes.
+
+The literature rows are fixed citations; the AW row's wake-up overhead is
+*computed* from the five-zone staggered wake model (Sec 5.3) rather than
+quoted, demonstrating that gating ~70% of an OoO core on core-idle events
+wakes in ~70 ns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.ufpg import UFPG
+from repro.experiments.common import format_table
+from repro.units import seconds_to_ns
+
+#: (citation, core type, trigger, gated blocks, wake-up overhead) rows for
+#: the prior schemes in the paper's Table 4.
+_PRIOR_SCHEMES: List[Tuple[str, str, str, str, str]] = [
+    ("[109]", "In-order CPU", "Cache miss", "Register file", "5 cycles"),
+    ("[102]", "In-order CPU", "Cache miss", "Core", "10 ns"),
+    ("[47]", "OoO CPU", "Execution unit idle", "Execution units", "9 cycles"),
+    ("[110]", "OoO CPU", "Register file bank idle", "Register file bank", "17 cycles"),
+    ("[111]", "GPU", "Register subarray unused", "Register subarray", "10 cycles"),
+    ("[35]", "OoO CPU", "AVX execution unit idle", "Intel AVX execution unit", "~10-15 ns"),
+]
+
+
+def run(ufpg: UFPG = None) -> List[Tuple[str, str, str, str, str]]:
+    """All Table 4 rows, with AW's wake-up derived from the zone model."""
+    ufpg = ufpg if ufpg is not None else UFPG()
+    rows = list(_PRIOR_SCHEMES)
+    rows.append(
+        (
+            "AW (this work)",
+            "OoO CPU",
+            "Core idle",
+            "Most of core units",
+            f"~{seconds_to_ns(ufpg.wake_latency):.0f} ns",
+        )
+    )
+    return rows
+
+
+def main() -> None:
+    print("Table 4: comparison of core power-gating schemes")
+    print(
+        format_table(
+            ["Technique", "Core type", "Trigger", "Power-gated blocks", "Wake-up overhead"],
+            run(),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Table 5: yearly datacenter cost savings per 100K servers.
+
+Feeds the per-core power deltas of the Fig 8 Memcached sweep (baseline
+minus AW) into the Sec 7.6 cost model: $0.125/kWh, 20 cores per server,
+100 000 servers. The paper reports $0.33M-$0.59M per year with the peak
+at mid-low load where AW's absolute watt savings are largest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.analytical.cost import CostModel, yearly_savings_musd
+from repro.experiments.common import (
+    DEFAULT_CORES,
+    DEFAULT_HORIZON,
+    DEFAULT_SEED,
+    format_table,
+    run_point,
+)
+from repro.workloads.memcached import MEMCACHED_RATES_KQPS
+
+
+def run(
+    rates_kqps: Sequence[float] = None,
+    horizon: float = DEFAULT_HORIZON,
+    cores: int = DEFAULT_CORES,
+    seed: int = DEFAULT_SEED,
+    cost_model: CostModel = CostModel(),
+) -> Dict[str, float]:
+    """$M saved per year per 100K servers, keyed by QPS label."""
+    rates_kqps = rates_kqps if rates_kqps is not None else MEMCACHED_RATES_KQPS
+    deltas: Dict[str, float] = {}
+    for kqps in rates_kqps:
+        qps = kqps * 1000.0
+        base = run_point("memcached", "baseline", qps, horizon, cores, seed)
+        aw = run_point("memcached", "AW", qps, horizon, cores, seed)
+        deltas[f"{kqps:.0f}K"] = max(0.0, base.avg_core_power - aw.avg_core_power)
+    return yearly_savings_musd(deltas, cost_model)
+
+
+def main() -> None:
+    savings = run()
+    print("Table 5: AW yearly cost savings ($M per 100K servers)")
+    rows = [[label, f"{musd:.2f}"] for label, musd in savings.items()]
+    print(format_table(["QPS", "Savings ($M/yr)"], rows))
+    print("\npaper band: $0.33M - $0.59M per year")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""OS-level power governance substrate.
+
+- :mod:`~repro.governor.idle` — idle-state (C-state) governors: a
+  menu-style EWMA predictor plus fixed/oracle policies.
+- :mod:`~repro.governor.pstates` — P-state (DVFS) table and policies.
+"""
+
+from repro.governor.idle import (
+    FixedGovernor,
+    IdleGovernor,
+    MenuGovernor,
+    OracleGovernor,
+)
+from repro.governor.pstates import PState, PStateTable
+
+__all__ = [
+    "FixedGovernor",
+    "IdleGovernor",
+    "MenuGovernor",
+    "OracleGovernor",
+    "PState",
+    "PStateTable",
+]

@@ -1,0 +1,81 @@
+"""P-state (DVFS) table.
+
+P-states set the core's voltage/frequency while *active*; they are
+orthogonal to C-states (which apply while idle) but interact with them:
+C1E and C6AE include a DVFS transition to Pn, and Turbo is an
+opportunistic P-state above base. The paper's evaluation keeps software
+P-state management disabled (frequency pinned at P1) and studies Turbo
+separately, which this table supports via ``software_control``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.cstates import FrequencyPoint, active_power
+from repro.errors import ConfigurationError
+from repro.units import US
+
+
+@dataclass(frozen=True)
+class PState:
+    """One DVFS operating point.
+
+    Attributes:
+        name: "P1", "Pn", "Turbo".
+        frequency: the frequency point.
+        transition_latency: DVFS switch time into this state (the C1E
+            entry's dominant component: tens of microseconds [107]).
+    """
+
+    name: str
+    frequency: FrequencyPoint
+    transition_latency: float
+
+    def __post_init__(self) -> None:
+        if self.transition_latency < 0:
+            raise ConfigurationError(f"{self.name}: transition latency must be >= 0")
+
+    @property
+    def power_watts(self) -> float:
+        """Active (C0) power at this operating point."""
+        return active_power(self.frequency)
+
+
+class PStateTable:
+    """The modelled Xeon's P-states with software-control gating."""
+
+    def __init__(self, software_control: bool = False, turbo_enabled: bool = True):
+        self.software_control = software_control
+        self.turbo_enabled = turbo_enabled
+        self._states: Dict[str, PState] = {
+            "P1": PState("P1", FrequencyPoint.P1, transition_latency=12 * US),
+            "Pn": PState("Pn", FrequencyPoint.PN, transition_latency=12 * US),
+            "Turbo": PState("Turbo", FrequencyPoint.TURBO, transition_latency=12 * US),
+        }
+
+    def get(self, name: str) -> PState:
+        if name not in self._states:
+            raise ConfigurationError(f"unknown P-state {name!r}")
+        if name == "Turbo" and not self.turbo_enabled:
+            raise ConfigurationError("Turbo is disabled in this configuration")
+        return self._states[name]
+
+    @property
+    def states(self) -> List[PState]:
+        names = ["P1", "Pn"] + (["Turbo"] if self.turbo_enabled else [])
+        return [self._states[n] for n in names]
+
+    def operating_point(self) -> PState:
+        """The pinned point when software P-state control is disabled."""
+        if self.software_control:
+            raise ConfigurationError(
+                "operating_point() is only defined with software control off"
+            )
+        return self._states["P1"]
+
+    def dvfs_latency(self, from_name: str, to_name: str) -> float:
+        """Latency of switching between two P-states."""
+        self.get(from_name)
+        return self.get(to_name).transition_latency

@@ -1,0 +1,57 @@
+"""Power delivery, clocking and gating substrate.
+
+This package models the circuit-level building blocks the AgileWatts
+architecture composes:
+
+- :mod:`~repro.power.leakage` — leakage scaling across technology nodes and
+  voltages (Shahidi [99] methodology used in Table 3 footnote gamma).
+- :mod:`~repro.power.pdn` — FIVR / MBVR / LDO power-delivery models with
+  conversion-efficiency and static losses.
+- :mod:`~repro.power.clock` — ADPLL and clock-distribution network, with
+  clock gating and relock latency.
+- :mod:`~repro.power.powergate` — power-gate switch fabrics, daisy-chained
+  staggered wake-up and multi-zone controllers (Fig 2, Sec 5.3).
+- :mod:`~repro.power.retention` — context-retention structures: ungated
+  registers, SRPG flops and ungated SRAM (Fig 5).
+- :mod:`~repro.power.rapl` — RAPL-style energy accounting over a simulation.
+"""
+
+from repro.power.leakage import (
+    LeakageModel,
+    scale_leakage_power,
+    sleep_transistor_efficiency,
+)
+from repro.power.pdn import FIVR, LDO, MBVR, VoltageRegulator
+from repro.power.clock import ADPLL, ClockDistribution
+from repro.power.droop import InRushModel, IRDropModel
+from repro.power.powergate import PowerGate, StaggeredWakeupController, ZonedPowerGating
+from repro.power.retention import (
+    RetentionPlan,
+    SRPGBank,
+    UngatedRegisterFile,
+    UngatedSRAM,
+)
+from repro.power.rapl import EnergyCounter, RAPLDomain
+
+__all__ = [
+    "LeakageModel",
+    "scale_leakage_power",
+    "sleep_transistor_efficiency",
+    "FIVR",
+    "LDO",
+    "MBVR",
+    "VoltageRegulator",
+    "ADPLL",
+    "ClockDistribution",
+    "InRushModel",
+    "IRDropModel",
+    "PowerGate",
+    "StaggeredWakeupController",
+    "ZonedPowerGating",
+    "RetentionPlan",
+    "SRPGBank",
+    "UngatedRegisterFile",
+    "UngatedSRAM",
+    "EnergyCounter",
+    "RAPLDomain",
+]

@@ -1,0 +1,138 @@
+"""Voltage droop, IR drop and in-rush current models (Sec 5.1.1, 5.3).
+
+Two power-integrity effects constrain AW's design:
+
+- **IR drop across power gates** (Sec 5.1.1 performance overhead): the
+  gate's on-resistance adds series resistance to the PDN, deepening
+  worst-case voltage droops. The droop margin must be re-budgeted as
+  extra voltage guard-band, which at a fixed voltage costs maximum
+  frequency — an x86 core power-gate implementation measures < 1% fmax
+  loss [93]. :class:`IRDropModel` derives that penalty from the gate
+  resistance and the core's current draw.
+
+- **in-rush current at wake** (Sec 5.3): waking a gated region charges
+  its decoupled capacitance; the current spike scales with the woken
+  capacitance over the stagger window. The PDN tolerates the spike the
+  AVX gates produce (area 1.0, 15 ns window); :class:`InRushModel`
+  checks any zone plan against that proven budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import PowerModelError
+from repro.power.powergate import PowerGate
+from repro.units import NS
+
+#: Relative capacitance-per-area unit: the AVX region defines 1.0.
+AVX_REFERENCE_AREA = 1.0
+
+#: The AVX wake's stagger window the PDN is qualified for.
+AVX_REFERENCE_WINDOW = 15 * NS
+
+
+@dataclass(frozen=True)
+class IRDropModel:
+    """Frequency cost of the power-gate IR drop.
+
+    Attributes:
+        gate_resistance_mohm: effective on-resistance of the gate fabric
+            in milliohms (well-designed fabrics: ~1 mOhm).
+        peak_current_amps: worst-case core current (a 4 W core at ~1 V
+            with di/dt transients peaks around 8 A).
+        nominal_voltage: the rail voltage the droop eats into.
+        droop_to_frequency: fmax sensitivity to voltage margin —
+            fractional frequency lost per fractional voltage lost
+            (~1.25x near the V/F knee for 14 nm-class cores).
+    """
+
+    gate_resistance_mohm: float = 1.0
+    peak_current_amps: float = 8.0
+    nominal_voltage: float = 1.0
+    droop_to_frequency: float = 1.25
+
+    def __post_init__(self) -> None:
+        if self.gate_resistance_mohm < 0:
+            raise PowerModelError("gate resistance must be >= 0")
+        if self.peak_current_amps <= 0 or self.nominal_voltage <= 0:
+            raise PowerModelError("current and voltage must be positive")
+        if self.droop_to_frequency <= 0:
+            raise PowerModelError("sensitivity must be positive")
+
+    @property
+    def extra_droop_volts(self) -> float:
+        """Worst-case additional droop from the gate: I * R."""
+        return self.peak_current_amps * self.gate_resistance_mohm * 1e-3
+
+    @property
+    def frequency_penalty(self) -> float:
+        """Fractional fmax loss to re-budget the droop margin.
+
+        With the defaults: 8 A x 1 mOhm = 8 mV on a 1 V rail = 0.8%
+        voltage, x1.25 sensitivity = 1% frequency — the paper's (and
+        [93]'s) < 1% figure.
+        """
+        voltage_fraction = self.extra_droop_volts / self.nominal_voltage
+        return voltage_fraction * self.droop_to_frequency
+
+
+@dataclass(frozen=True)
+class InRushModel:
+    """In-rush current check against the AVX-qualified PDN budget.
+
+    The spike magnitude scales with (woken capacitance / stagger window).
+    The AVX wake (area 1.0 over 15 ns) defines the qualified budget; any
+    zone with a higher charge rate violates it.
+    """
+
+    budget_margin: float = 1.0  # 1.0 = exactly the AVX-qualified spike
+
+    def __post_init__(self) -> None:
+        if self.budget_margin <= 0:
+            raise PowerModelError("budget margin must be positive")
+
+    @property
+    def reference_rate(self) -> float:
+        """Qualified charge rate: AVX area per AVX window."""
+        return AVX_REFERENCE_AREA / AVX_REFERENCE_WINDOW
+
+    def spike_ratio(self, gate: PowerGate) -> float:
+        """This gate's charge rate relative to the qualified budget."""
+        if gate.stagger_time <= 0:
+            raise PowerModelError(f"{gate.name}: needs a positive stagger window")
+        rate = gate.relative_area / gate.stagger_time
+        return rate / self.reference_rate
+
+    def zone_plan_safe(self, gates: Sequence[PowerGate]) -> bool:
+        """True if *every* zone stays within the budget (x margin).
+
+        Zones wake sequentially, so only the per-zone spike matters, not
+        the sum — this is exactly why the Sec 5.3 five-zone split works.
+        """
+        if not gates:
+            raise PowerModelError("zone plan cannot be empty")
+        return all(
+            self.spike_ratio(gate) <= self.budget_margin + 1e-9 for gate in gates
+        )
+
+    def worst_zone_ratio(self, gates: Sequence[PowerGate]) -> float:
+        """The plan's figure of merit: its worst single-zone spike."""
+        if not gates:
+            raise PowerModelError("zone plan cannot be empty")
+        return max(self.spike_ratio(gate) for gate in gates)
+
+
+def single_gate_wake_unsafe() -> bool:
+    """Sanity helper: waking the whole UFPG region as ONE gate over one
+    AVX window would exceed the budget ~4.5x — the motivating fact for
+    the staggered zone design."""
+    from repro.power.powergate import UFPG_TO_AVX_AREA_RATIO
+
+    monolith = PowerGate(
+        "ufpg_monolith",
+        relative_area=UFPG_TO_AVX_AREA_RATIO,
+        stagger_time=AVX_REFERENCE_WINDOW,
+    )
+    return InRushModel().spike_ratio(monolith) > 1.0

@@ -1,0 +1,111 @@
+"""RAPL-style energy accounting.
+
+The paper measures real-machine power via Intel's Running Average Power
+Limit (RAPL) interface and per-C-state residency counters. The simulator
+needs the same two observables, so this module provides:
+
+- :class:`EnergyCounter` — integrates a piecewise-constant power signal
+  into joules, exactly like a RAPL MSR accumulates energy units.
+- :class:`RAPLDomain` — groups counters (e.g. per-core, package) and
+  reports average power over a measurement window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import PowerModelError, SimulationError
+
+
+@dataclass
+class EnergyCounter:
+    """Integrates piecewise-constant power over simulation time.
+
+    Usage: call :meth:`set_power` whenever the observed component changes
+    power level; the counter accrues ``power * dt`` for the elapsed span.
+    """
+
+    name: str = "energy"
+    _time: float = field(default=0.0, init=False)
+    _power: float = field(default=0.0, init=False)
+    _energy: float = field(default=0.0, init=False)
+    _started: bool = field(default=False, init=False)
+
+    def start(self, time: float, power: float) -> None:
+        """Begin accumulation at ``time`` with initial ``power``."""
+        if power < 0:
+            raise PowerModelError(f"{self.name}: power must be >= 0, got {power}")
+        self._time = time
+        self._power = power
+        self._started = True
+
+    def set_power(self, time: float, power: float) -> None:
+        """Record a power-level change at ``time``.
+
+        Raises:
+            SimulationError: if called before :meth:`start` or time runs
+                backwards.
+        """
+        if not self._started:
+            raise SimulationError(f"{self.name}: set_power before start")
+        if time < self._time:
+            raise SimulationError(
+                f"{self.name}: time ran backwards ({time} < {self._time})"
+            )
+        if power < 0:
+            raise PowerModelError(f"{self.name}: power must be >= 0, got {power}")
+        self._energy += self._power * (time - self._time)
+        self._time = time
+        self._power = power
+
+    def finish(self, time: float) -> float:
+        """Close the window at ``time`` and return accumulated joules."""
+        self.set_power(time, self._power)
+        return self._energy
+
+    @property
+    def energy_joules(self) -> float:
+        """Energy accumulated so far (up to the last power change)."""
+        return self._energy
+
+    @property
+    def current_power(self) -> float:
+        return self._power
+
+
+@dataclass
+class RAPLDomain:
+    """A named collection of energy counters with window-average reporting."""
+
+    name: str
+    counters: Dict[str, EnergyCounter] = field(default_factory=dict)
+    _window_start: float = field(default=0.0, init=False)
+
+    def add_counter(self, key: str) -> EnergyCounter:
+        """Create (or fetch) a counter under this domain."""
+        if key not in self.counters:
+            self.counters[key] = EnergyCounter(f"{self.name}/{key}")
+        return self.counters[key]
+
+    def begin_window(self, time: float) -> None:
+        self._window_start = time
+
+    def total_energy(self) -> float:
+        return sum(c.energy_joules for c in self.counters.values())
+
+    def average_power(self, time: float) -> float:
+        """Average power over the window [begin_window, time].
+
+        Raises:
+            SimulationError: on a zero-length window.
+        """
+        span = time - self._window_start
+        if span <= 0:
+            raise SimulationError(f"{self.name}: zero-length RAPL window")
+        # Flush all counters to `time` so partial spans are included.
+        energy = 0.0
+        for counter in self.counters.values():
+            counter.set_power(time, counter.current_power)
+            energy += counter.energy_joules
+        return energy / span

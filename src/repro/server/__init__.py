@@ -1,0 +1,21 @@
+"""Server-node simulation.
+
+- :mod:`~repro.server.node` — the N-core latency-critical server: request
+  dispatch, per-core queues, C-state lifecycle, turbo, snoops.
+- :mod:`~repro.server.config` — the paper's named configurations
+  (baseline, NT_Baseline, NT_No_C6, ..., AW variants).
+- :mod:`~repro.server.metrics` — run results: residency, power, latency.
+"""
+
+from repro.server.config import ServerConfiguration, named_configuration, CONFIGURATION_NAMES
+from repro.server.metrics import RunResult
+from repro.server.node import ServerNode, simulate
+
+__all__ = [
+    "ServerConfiguration",
+    "named_configuration",
+    "CONFIGURATION_NAMES",
+    "RunResult",
+    "ServerNode",
+    "simulate",
+]

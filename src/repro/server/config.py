@@ -1,0 +1,141 @@
+"""Named server configurations (the paper's tuned BIOS variants).
+
+The evaluation compares the baseline (P-states disabled, Turbo and all
+C-states enabled) against vendor-recommended tunings that successively
+disable Turbo, C6 and C1E (Sec 7.2), plus Turbo-enabled variants
+(Sec 7.3), and the AgileWatts variants where C6A/C6AE replace C1/C1E.
+
+Naming follows the paper: ``NT_`` prefixes mean "No Turbo"; ``T_`` means
+Turbo enabled; ``No_C6``/``No_C1E`` are BIOS C-state disables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.architecture import AgileWattsDesign
+from repro.core.cstates import CStateCatalog, skylake_baseline_catalog
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class ServerConfiguration:
+    """Everything that distinguishes one evaluated configuration.
+
+    Attributes:
+        name: the paper's configuration name.
+        catalog: the C-state hierarchy (with BIOS disables applied).
+        turbo_enabled: whether Turbo Boost may be granted.
+        frequency_derate: fmax loss applied to service times (AW's ~1%
+            power-gate penalty; 0 for the baseline hierarchy).
+        is_agilewatts: True for catalogs containing C6A/C6AE.
+    """
+
+    name: str
+    catalog: CStateCatalog
+    turbo_enabled: bool
+    frequency_derate: float = 0.0
+    is_agilewatts: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.frequency_derate < 0.1:
+            raise ConfigurationError("frequency derate expected to be < 10%")
+
+
+def _aw_catalog(design: Optional[AgileWattsDesign], keep_c6: bool) -> CStateCatalog:
+    design = design if design is not None else AgileWattsDesign()
+    return design.catalog(keep_c6=keep_c6)
+
+
+def named_configuration(
+    name: str, design: Optional[AgileWattsDesign] = None
+) -> ServerConfiguration:
+    """Build one of the paper's named configurations.
+
+    Supported names:
+
+    - ``baseline``: P-states off, Turbo on, all C-states on (Sec 7.1).
+    - ``NT_Baseline``: Turbo off, all C-states on.
+    - ``NT_No_C6``: Turbo off, C6 off.
+    - ``NT_No_C6_No_C1E``: Turbo off, C6 and C1E off.
+    - ``T_No_C6`` / ``T_No_C6_No_C1E``: as above with Turbo on.
+    - ``AW``: AW hierarchy (C6A/C6AE/C6), Turbo on — the Sec 7.1 AW point.
+    - ``NT_AW``: AW hierarchy, Turbo off.
+    - ``T_C6A_No_C6_No_C1E`` / ``NT_C6A_No_C6_No_C1E``: only C6A enabled
+      (the Sec 7.3 green-line configurations).
+    - ``AW_No_C6``: C6A/C6AE without legacy C6 (Figs 12/13 comparison).
+
+    Raises:
+        ConfigurationError: for unknown names.
+    """
+    derate = None
+    if name == "baseline":
+        return ServerConfiguration(name, skylake_baseline_catalog(), turbo_enabled=True)
+    if name == "NT_Baseline":
+        return ServerConfiguration(name, skylake_baseline_catalog(), turbo_enabled=False)
+    if name == "NT_No_C6":
+        catalog = skylake_baseline_catalog().disable("C6")
+        return ServerConfiguration(name, catalog, turbo_enabled=False)
+    if name == "NT_No_C6_No_C1E":
+        catalog = skylake_baseline_catalog().disable("C6", "C1E")
+        return ServerConfiguration(name, catalog, turbo_enabled=False)
+    if name == "T_No_C6":
+        catalog = skylake_baseline_catalog().disable("C6")
+        return ServerConfiguration(name, catalog, turbo_enabled=True)
+    if name == "T_No_C6_No_C1E":
+        catalog = skylake_baseline_catalog().disable("C6", "C1E")
+        return ServerConfiguration(name, catalog, turbo_enabled=True)
+    if name == "T_Baseline_No_C1E":
+        # The Fig 12/13 baseline: C1 and C6 enabled (no C1E), Turbo on.
+        catalog = skylake_baseline_catalog().disable("C1E")
+        return ServerConfiguration(name, catalog, turbo_enabled=True)
+
+    aw_design = design if design is not None else AgileWattsDesign()
+    derate = aw_design.frequency_penalty
+    if name == "AW":
+        return ServerConfiguration(
+            name, _aw_catalog(aw_design, keep_c6=True), turbo_enabled=True,
+            frequency_derate=derate, is_agilewatts=True,
+        )
+    if name == "NT_AW":
+        return ServerConfiguration(
+            name, _aw_catalog(aw_design, keep_c6=True), turbo_enabled=False,
+            frequency_derate=derate, is_agilewatts=True,
+        )
+    if name == "AW_No_C6":
+        return ServerConfiguration(
+            name, _aw_catalog(aw_design, keep_c6=False), turbo_enabled=True,
+            frequency_derate=derate, is_agilewatts=True,
+        )
+    if name == "T_C6A_No_C6_No_C1E":
+        catalog = _aw_catalog(aw_design, keep_c6=False).disable("C6AE")
+        return ServerConfiguration(
+            name, catalog, turbo_enabled=True,
+            frequency_derate=derate, is_agilewatts=True,
+        )
+    if name == "NT_C6A_No_C6_No_C1E":
+        catalog = _aw_catalog(aw_design, keep_c6=False).disable("C6AE")
+        return ServerConfiguration(
+            name, catalog, turbo_enabled=False,
+            frequency_derate=derate, is_agilewatts=True,
+        )
+    raise ConfigurationError(
+        f"unknown configuration {name!r}; choose from {CONFIGURATION_NAMES}"
+    )
+
+
+CONFIGURATION_NAMES: List[str] = [
+    "baseline",
+    "NT_Baseline",
+    "NT_No_C6",
+    "NT_No_C6_No_C1E",
+    "T_No_C6",
+    "T_No_C6_No_C1E",
+    "T_Baseline_No_C1E",
+    "AW",
+    "NT_AW",
+    "AW_No_C6",
+    "T_C6A_No_C6_No_C1E",
+    "NT_C6A_No_C6_No_C1E",
+]

@@ -1,0 +1,120 @@
+"""Run results: the observables the paper's figures plot.
+
+A :class:`RunResult` is what one simulated (workload, configuration,
+request-rate) point yields: C-state residencies and transition counts
+(Figs 8a, 9d, 12a/b, 13a/b), average core and package power (Figs 8b, 9c),
+and average/tail latency, server-side and end-to-end (Figs 8c, 9a/b, 10,
+11, 12c, 13c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.simkit.stats import PercentileTracker
+
+
+@dataclass
+class RunResult:
+    """Aggregated observables of one simulation run.
+
+    Attributes:
+        config_name: the named configuration simulated.
+        workload_name: the service simulated.
+        qps: offered aggregate request rate.
+        horizon: simulated wall-clock seconds.
+        cores: core count.
+        residency: fraction of core-time per C-state name (averaged over
+            cores; sums to ~1).
+        transitions_per_second: per-core C-state entries per second.
+        avg_core_power: average per-core power (RAPL-style integration).
+        package_power: average socket power (cores + uncore).
+        server_latency: per-request server-side latency tracker.
+        completed: requests completed.
+        turbo_grant_rate: fraction of busy-period starts granted Turbo.
+        network_latency: constant network component for end-to-end views.
+    """
+
+    config_name: str
+    workload_name: str
+    qps: float
+    horizon: float
+    cores: int
+    residency: Dict[str, float]
+    transitions_per_second: Dict[str, float]
+    avg_core_power: float
+    package_power: float
+    server_latency: PercentileTracker
+    completed: int
+    turbo_grant_rate: float
+    network_latency: float
+    snoops_served: int = 0
+
+    # -- latency views ------------------------------------------------------
+    @property
+    def avg_latency(self) -> float:
+        """Average server-side latency (seconds)."""
+        return self.server_latency.mean
+
+    @property
+    def tail_latency(self) -> float:
+        """p99 server-side latency (seconds)."""
+        return self.server_latency.p99
+
+    @property
+    def avg_latency_e2e(self) -> float:
+        """Average end-to-end latency (network + server side)."""
+        return self.network_latency + self.avg_latency
+
+    @property
+    def tail_latency_e2e(self) -> float:
+        return self.network_latency + self.tail_latency
+
+    # -- throughput ------------------------------------------------------------
+    @property
+    def achieved_qps(self) -> float:
+        if self.horizon <= 0:
+            return 0.0
+        return self.completed / self.horizon
+
+    @property
+    def utilization(self) -> float:
+        """C0 residency — the fraction of core-time doing work."""
+        return self.residency.get("C0", 0.0)
+
+    def residency_of(self, name: str) -> float:
+        return self.residency.get(name, 0.0)
+
+    def summary(self) -> str:
+        from repro.units import pretty_power, pretty_time
+
+        parts = [
+            f"{self.workload_name}/{self.config_name} @ {self.qps:.0f} QPS:",
+            f"power/core {pretty_power(self.avg_core_power)}",
+            f"pkg {pretty_power(self.package_power)}",
+            f"avg {pretty_time(self.avg_latency)}",
+            f"p99 {pretty_time(self.tail_latency)}",
+            "residency "
+            + " ".join(f"{k}={v * 100:.0f}%" for k, v in sorted(self.residency.items())),
+        ]
+        return "  ".join(parts)
+
+
+def compare_power(baseline: RunResult, other: RunResult) -> float:
+    """Fractional average-core-power reduction of ``other`` vs baseline."""
+    if baseline.avg_core_power <= 0:
+        return 0.0
+    return (baseline.avg_core_power - other.avg_core_power) / baseline.avg_core_power
+
+
+def compare_latency(baseline: RunResult, other: RunResult, tail: bool = False) -> float:
+    """Fractional latency reduction of ``other`` vs baseline (server side).
+
+    Positive means ``other`` is faster.
+    """
+    base = baseline.tail_latency if tail else baseline.avg_latency
+    new = other.tail_latency if tail else other.avg_latency
+    if base <= 0:
+        return 0.0
+    return (base - new) / base

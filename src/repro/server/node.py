@@ -1,0 +1,319 @@
+"""The simulated latency-critical server.
+
+One :class:`ServerNode` models the paper's testbed server: N cores
+(10 physical per socket on the Xeon Silver 4114), an open-loop request
+stream dispatched across them, per-core FIFO queues (the paper pins
+service threads to cores), an idle governor per core, a shared turbo
+budget, and background snoop traffic.
+
+Core lifecycle (per core)::
+
+    ACTIVE ──queue empties──> ENTERING ──entry done──> IDLE (Cx)
+      ^                                                   │
+      └── WAKING <─────────── arrival (pays exit latency) ┘
+
+Arrivals during ENTERING must first let the entry complete, then pay the
+exit latency — the worst case the paper's Fig 8c "worst case" curve
+charges on every query. Request latency is measured server-side
+(completion - arrival) with the constant network component added for
+end-to-end views.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Deque, Dict, List, Optional
+
+from repro.core.cstates import CState, FrequencyPoint
+from repro.errors import ConfigurationError, SimulationError
+from repro.governor.idle import IdleGovernor, MenuGovernor
+from repro.server.config import ServerConfiguration
+from repro.server.metrics import RunResult
+from repro.simkit.engine import Simulator
+from repro.simkit.stats import PercentileTracker
+from repro.simkit.trace import NULL_TRACE, TraceRecorder
+from repro.uarch.coherence import SnoopModel, SnoopTrafficGenerator
+from repro.uarch.core import Core
+from repro.uarch.package import Package, PackageConfig
+from repro.uarch.turbo import TurboBudget, TurboConfig
+from repro.workloads.base import Workload
+from repro.workloads.loadgen import LoadGenerator, OpenLoopPoisson
+
+
+class CoreMode(Enum):
+    ACTIVE = "active"
+    ENTERING = "entering"
+    IDLE = "idle"
+    WAKING = "waking"
+
+
+@dataclass
+class _Request:
+    arrival: float
+
+
+class _CoreRuntime:
+    """Mutable per-core simulation state."""
+
+    __slots__ = (
+        "core", "queue", "governor", "mode", "busy", "idle_since",
+        "wake_pending", "snoop_token", "entry_event",
+    )
+
+    def __init__(self, core: Core, governor: IdleGovernor):
+        self.core = core
+        self.queue: Deque[_Request] = deque()
+        self.governor = governor
+        self.mode = CoreMode.ACTIVE
+        self.busy = False
+        self.idle_since = 0.0
+        self.wake_pending = False
+        self.snoop_token = 0
+        self.entry_event = None
+
+
+class ServerNode:
+    """Event-driven model of one latency-critical server."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        configuration: ServerConfiguration,
+        qps: float,
+        cores: int = 10,
+        horizon: float = 0.5,
+        seed: int = 42,
+        uncore_watts: float = 38.0,
+        snoops_enabled: bool = True,
+        turbo_config: Optional[TurboConfig] = None,
+        governor_factory=None,
+        trace: Optional[TraceRecorder] = None,
+    ):
+        if cores <= 0:
+            raise ConfigurationError("need at least one core")
+        if horizon <= 0:
+            raise ConfigurationError("horizon must be positive")
+        self.workload = workload
+        self.configuration = configuration
+        self.qps = qps
+        self.n_cores = cores
+        self.horizon = horizon
+        self.seed = seed
+        self.sim = Simulator()
+        self._dispatch_rng = random.Random(seed)
+        self._loadgen: LoadGenerator = OpenLoopPoisson(qps, seed=seed + 1)
+
+        catalog = configuration.catalog
+        make_governor = governor_factory or (lambda: MenuGovernor())
+        self._runtimes: List[_CoreRuntime] = [
+            _CoreRuntime(Core(i, catalog), make_governor()) for i in range(cores)
+        ]
+        self.package = Package(
+            [rt.core for rt in self._runtimes],
+            PackageConfig(cores=cores, uncore_watts=uncore_watts),
+            turbo=TurboBudget(turbo_config or TurboConfig(), enabled=configuration.turbo_enabled),
+        )
+        self.snoop_model = SnoopModel()
+        self._snoops_enabled = snoops_enabled and workload.snoop_rate_hz > 0
+        self._snoop_gens = [
+            SnoopTrafficGenerator(workload.snoop_rate_hz, seed=seed + 100 + i)
+            for i in range(cores)
+        ]
+        self.latency = PercentileTracker()
+        self.completed = 0
+        self.snoops_served = 0
+        self.trace = trace if trace is not None else NULL_TRACE
+
+    # -- wiring ------------------------------------------------------------
+    def _schedule_arrivals(self) -> None:
+        for t in self._loadgen.arrivals(self.horizon):
+            # bind the arrival time via default arg to avoid late binding
+            self.sim.schedule_at(t, lambda t=t: self._on_arrival(t), label="arrival")
+
+    def _arm_snoops(self) -> None:
+        if not self._snoops_enabled:
+            return
+        for idx in range(self.n_cores):
+            self._schedule_next_snoop(idx)
+
+    def _schedule_next_snoop(self, idx: int) -> None:
+        delay = self._snoop_gens[idx].next_arrival_delay()
+        if delay is None:
+            return
+        when = self.sim.now + delay
+        if when >= self.horizon:
+            return
+        self.sim.schedule_at(when, lambda: self._on_snoop(idx), label=f"snoop{idx}")
+
+    # -- request path ------------------------------------------------------------
+    def _on_arrival(self, arrival: float) -> None:
+        idx = self._dispatch_rng.randrange(self.n_cores)
+        rt = self._runtimes[idx]
+        rt.queue.append(_Request(arrival))
+        if rt.mode is CoreMode.ACTIVE and not rt.busy:
+            self._start_service(rt)
+        elif rt.mode is CoreMode.IDLE:
+            self._begin_wake(rt)
+        elif rt.mode is CoreMode.ENTERING:
+            rt.wake_pending = True
+        # WAKING: the pending wake will drain the queue.
+
+    def _start_service(self, rt: _CoreRuntime) -> None:
+        if rt.busy or not rt.queue:
+            raise SimulationError("invalid service start")
+        rt.busy = True
+        request = rt.queue.popleft()
+        service_time = self.workload.service.sample(
+            frequency=rt.core.frequency,
+            frequency_derate=self.configuration.frequency_derate,
+        )
+        self.sim.schedule(
+            service_time, lambda: self._finish_service(rt, request), label="finish"
+        )
+
+    def _finish_service(self, rt: _CoreRuntime, request: _Request) -> None:
+        self.latency.add(self.sim.now - request.arrival)
+        self.completed += 1
+        rt.busy = False
+        if rt.queue:
+            self._start_service(rt)
+        else:
+            self._go_idle(rt)
+
+    # -- idle path -----------------------------------------------------------------
+    def _go_idle(self, rt: _CoreRuntime) -> None:
+        state = rt.governor.choose(self.configuration.catalog)
+        rt.mode = CoreMode.ENTERING
+        rt.idle_since = self.sim.now
+        rt.wake_pending = False
+        rt.entry_event = self.sim.schedule(
+            state.entry_latency,
+            lambda: self._entry_complete(rt, state),
+            label="entry",
+        )
+
+    def _entry_complete(self, rt: _CoreRuntime, state: CState) -> None:
+        rt.core.enter_idle(self.sim.now, state)
+        self.package.turbo.update(self.sim.now, self.package.package_power)
+        rt.mode = CoreMode.IDLE
+        self.trace.record(
+            self.sim.now, f"core{rt.core.core_id}", "enter_idle", state.name
+        )
+        if rt.wake_pending or rt.queue:
+            self._begin_wake(rt)
+
+    def _begin_wake(self, rt: _CoreRuntime) -> None:
+        if rt.mode is not CoreMode.IDLE:
+            raise SimulationError(f"cannot wake core in mode {rt.mode}")
+        rt.governor.observe_idle(self.sim.now - rt.idle_since)
+        rt.snoop_token += 1  # invalidate in-flight snoop service
+        self.trace.record(
+            self.sim.now, f"core{rt.core.core_id}", "wake", rt.core.state.name
+        )
+        exit_latency = rt.core.wake(self.sim.now)
+        frequency = self.package.turbo.frequency_for_burst(
+            self.sim.now, self.package.package_power
+        )
+        rt.core.set_frequency(self.sim.now, frequency)
+        rt.mode = CoreMode.WAKING
+        self.sim.schedule(exit_latency, lambda: self._wake_complete(rt), label="wake")
+
+    def _wake_complete(self, rt: _CoreRuntime) -> None:
+        rt.mode = CoreMode.ACTIVE
+        if rt.queue and not rt.busy:
+            self._start_service(rt)
+        elif not rt.queue:
+            # Spurious wake (race with service completion): go back idle.
+            self._go_idle(rt)
+
+    # -- snoop path -----------------------------------------------------------------
+    def _on_snoop(self, idx: int) -> None:
+        rt = self._runtimes[idx]
+        state = rt.core.state
+        if rt.mode is CoreMode.IDLE and self.snoop_model.sees_snoops(state.name):
+            delta = self.snoop_model.power_delta_for(state.name)
+            rt.core.begin_snoop_service(self.sim.now, delta)
+            token = rt.snoop_token
+            duration = self.snoop_model.service_time + state.snoop_wake_overhead
+            self.sim.schedule(
+                duration, lambda: self._end_snoop(rt, token), label="snoop_end"
+            )
+            self.snoops_served += 1
+            self.trace.record(
+                self.sim.now, f"core{rt.core.core_id}", "snoop", state.name
+            )
+        self._schedule_next_snoop(idx)
+
+    def _end_snoop(self, rt: _CoreRuntime, token: int) -> None:
+        # A wake may have raced us; only restore idle power if still idle.
+        if rt.mode is CoreMode.IDLE and rt.snoop_token == token:
+            rt.core.end_snoop_service(self.sim.now)
+
+    # -- run ------------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Simulate the full horizon and aggregate the observables."""
+        self._schedule_arrivals()
+        self._arm_snoops()
+        self.sim.run(until=self.horizon)
+
+        residency: Dict[str, float] = {}
+        transitions: Dict[str, float] = {}
+        energy = 0.0
+        for rt in self._runtimes:
+            stats = rt.core.snapshot(self.horizon)
+            for name, seconds in stats.residency_seconds.items():
+                residency[name] = residency.get(name, 0.0) + seconds
+            for name, count in stats.transitions.items():
+                transitions[name] = transitions.get(name, 0.0) + count
+            energy += stats.energy_joules
+
+        total_core_time = self.horizon * self.n_cores
+        residency = {k: v / total_core_time for k, v in residency.items()}
+        transitions_ps = {
+            k: v / (self.horizon * self.n_cores) for k, v in transitions.items()
+        }
+        avg_core_power = energy / total_core_time
+        package_power = (
+            avg_core_power * self.n_cores + self.package.config.uncore_watts
+        )
+        return RunResult(
+            config_name=self.configuration.name,
+            workload_name=self.workload.name,
+            qps=self.qps,
+            horizon=self.horizon,
+            cores=self.n_cores,
+            residency=residency,
+            transitions_per_second=transitions_ps,
+            avg_core_power=avg_core_power,
+            package_power=package_power,
+            server_latency=self.latency,
+            completed=self.completed,
+            turbo_grant_rate=self.package.turbo.grant_rate,
+            network_latency=self.workload.network_latency,
+            snoops_served=self.snoops_served,
+        )
+
+
+def simulate(
+    workload: Workload,
+    configuration: ServerConfiguration,
+    qps: float,
+    cores: int = 10,
+    horizon: float = 0.5,
+    seed: int = 42,
+    **kwargs,
+) -> RunResult:
+    """One-call convenience wrapper: build a node and run it."""
+    node = ServerNode(
+        workload=workload,
+        configuration=configuration,
+        qps=qps,
+        cores=cores,
+        horizon=horizon,
+        seed=seed,
+        **kwargs,
+    )
+    return node.run()

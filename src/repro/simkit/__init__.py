@@ -1,0 +1,42 @@
+"""Discrete-event simulation substrate.
+
+``simkit`` is a small, dependency-free discrete-event simulation kernel:
+
+- :class:`~repro.simkit.engine.Simulator` — the event loop and clock.
+- :mod:`~repro.simkit.distributions` — seeded random variates for load
+  generators and service-time models.
+- :mod:`~repro.simkit.stats` — online statistics (mean/variance,
+  percentiles, histograms) used for latency and power reporting.
+- :mod:`~repro.simkit.trace` — optional event tracing.
+"""
+
+from repro.simkit.engine import Event, Simulator
+from repro.simkit.distributions import (
+    Degenerate,
+    EmpiricalDistribution,
+    Exponential,
+    LogNormal,
+    MixtureDistribution,
+    Pareto,
+    Uniform,
+    make_distribution,
+)
+from repro.simkit.stats import Histogram, OnlineStats, PercentileTracker
+from repro.simkit.trace import TraceRecorder
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Degenerate",
+    "EmpiricalDistribution",
+    "Exponential",
+    "LogNormal",
+    "MixtureDistribution",
+    "Pareto",
+    "Uniform",
+    "make_distribution",
+    "Histogram",
+    "OnlineStats",
+    "PercentileTracker",
+    "TraceRecorder",
+]

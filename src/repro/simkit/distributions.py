@@ -1,0 +1,243 @@
+"""Seeded random variates for workload and service-time modelling.
+
+Each distribution wraps a private :class:`random.Random` instance so that
+every stochastic component of a simulation (arrivals, service times, snoop
+traffic) draws from an independent, reproducible stream. Two simulations
+built with the same seeds produce bit-identical schedules.
+
+All distributions expose:
+
+- ``sample() -> float`` — one variate (always >= 0 for the provided types)
+- ``mean`` — the analytic mean, used by load calculators and tests
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class Distribution:
+    """Base class: a reproducible non-negative random variate."""
+
+    def sample(self) -> float:
+        raise NotImplementedError
+
+    @property
+    def mean(self) -> float:
+        raise NotImplementedError
+
+    def sample_many(self, n: int) -> List[float]:
+        """Draw ``n`` variates (convenience for vector consumers)."""
+        if n < 0:
+            raise ConfigurationError(f"cannot draw {n} samples")
+        return [self.sample() for _ in range(n)]
+
+
+class Degenerate(Distribution):
+    """A constant: always returns ``value``. Useful for deterministic tests."""
+
+    def __init__(self, value: float):
+        if value < 0:
+            raise ConfigurationError(f"degenerate value must be >= 0, got {value}")
+        self._value = float(value)
+
+    def sample(self) -> float:
+        return self._value
+
+    @property
+    def mean(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Degenerate({self._value})"
+
+
+class Exponential(Distribution):
+    """Exponential with given mean (inter-arrival times of Poisson processes)."""
+
+    def __init__(self, mean: float, seed: int = 0):
+        if mean <= 0:
+            raise ConfigurationError(f"exponential mean must be > 0, got {mean}")
+        self._mean = float(mean)
+        self._rng = random.Random(seed)
+
+    def sample(self) -> float:
+        return self._rng.expovariate(1.0 / self._mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"Exponential(mean={self._mean})"
+
+
+class Uniform(Distribution):
+    """Uniform on [low, high)."""
+
+    def __init__(self, low: float, high: float, seed: int = 0):
+        if not 0 <= low <= high:
+            raise ConfigurationError(f"need 0 <= low <= high, got [{low}, {high})")
+        self._low = float(low)
+        self._high = float(high)
+        self._rng = random.Random(seed)
+
+    def sample(self) -> float:
+        return self._rng.uniform(self._low, self._high)
+
+    @property
+    def mean(self) -> float:
+        return (self._low + self._high) / 2.0
+
+    def __repr__(self) -> str:
+        return f"Uniform({self._low}, {self._high})"
+
+
+class LogNormal(Distribution):
+    """Log-normal parameterised by its *actual* mean and sigma (of log).
+
+    Service times of real services are right-skewed; log-normal is the
+    conventional fit (e.g. Mutilate's Facebook ETC service times).
+    """
+
+    def __init__(self, mean: float, sigma: float = 0.5, seed: int = 0):
+        if mean <= 0:
+            raise ConfigurationError(f"lognormal mean must be > 0, got {mean}")
+        if sigma < 0:
+            raise ConfigurationError(f"lognormal sigma must be >= 0, got {sigma}")
+        self._mean = float(mean)
+        self._sigma = float(sigma)
+        # E[X] = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2
+        self._mu = math.log(mean) - sigma * sigma / 2.0
+        self._rng = random.Random(seed)
+
+    def sample(self) -> float:
+        if self._sigma == 0:
+            return self._mean
+        return self._rng.lognormvariate(self._mu, self._sigma)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"LogNormal(mean={self._mean}, sigma={self._sigma})"
+
+
+class Pareto(Distribution):
+    """Bounded-mean Pareto (heavy-tailed), parameterised by mean and alpha > 1.
+
+    Used for tail-heavy request mixes (e.g. MySQL OLTP transactions with
+    occasional large scans).
+    """
+
+    def __init__(self, mean: float, alpha: float = 2.5, seed: int = 0):
+        if mean <= 0:
+            raise ConfigurationError(f"pareto mean must be > 0, got {mean}")
+        if alpha <= 1:
+            raise ConfigurationError(f"pareto alpha must be > 1, got {alpha}")
+        self._mean = float(mean)
+        self._alpha = float(alpha)
+        # E[X] = alpha * xm / (alpha - 1)  =>  xm = mean * (alpha - 1) / alpha
+        self._xm = mean * (alpha - 1.0) / alpha
+        self._rng = random.Random(seed)
+
+    def sample(self) -> float:
+        u = self._rng.random()
+        # Inverse CDF; clamp u away from 0 to avoid infinities.
+        u = max(u, 1e-12)
+        return self._xm / (u ** (1.0 / self._alpha))
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"Pareto(mean={self._mean}, alpha={self._alpha})"
+
+
+class EmpiricalDistribution(Distribution):
+    """Samples from a fixed list of observations with replacement."""
+
+    def __init__(self, observations: Sequence[float], seed: int = 0):
+        if not observations:
+            raise ConfigurationError("empirical distribution needs observations")
+        if any(x < 0 for x in observations):
+            raise ConfigurationError("observations must be non-negative")
+        self._observations = [float(x) for x in observations]
+        self._rng = random.Random(seed)
+        self._mean = sum(self._observations) / len(self._observations)
+
+    def sample(self) -> float:
+        return self._rng.choice(self._observations)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"EmpiricalDistribution(n={len(self._observations)})"
+
+
+class MixtureDistribution(Distribution):
+    """Weighted mixture of distributions (e.g. GET/SET request mix)."""
+
+    def __init__(self, components: Sequence[Tuple[float, Distribution]], seed: int = 0):
+        if not components:
+            raise ConfigurationError("mixture needs at least one component")
+        weights = [w for w, _ in components]
+        if any(w <= 0 for w in weights):
+            raise ConfigurationError("mixture weights must be positive")
+        total = sum(weights)
+        self._weights = [w / total for w in weights]
+        self._dists = [d for _, d in components]
+        self._rng = random.Random(seed)
+        self._cum: List[float] = []
+        acc = 0.0
+        for w in self._weights:
+            acc += w
+            self._cum.append(acc)
+
+    def sample(self) -> float:
+        u = self._rng.random()
+        for threshold, dist in zip(self._cum, self._dists):
+            if u <= threshold:
+                return dist.sample()
+        return self._dists[-1].sample()
+
+    @property
+    def mean(self) -> float:
+        return sum(w * d.mean for w, d in zip(self._weights, self._dists))
+
+    def __repr__(self) -> str:
+        return f"MixtureDistribution(k={len(self._dists)})"
+
+
+_FACTORIES: Dict[str, type] = {
+    "degenerate": Degenerate,
+    "exponential": Exponential,
+    "uniform": Uniform,
+    "lognormal": LogNormal,
+    "pareto": Pareto,
+}
+
+
+def make_distribution(kind: str, **kwargs) -> Distribution:
+    """Build a distribution from a name; used by config-file driven runs.
+
+    Example:
+        >>> d = make_distribution("exponential", mean=2.0, seed=7)
+        >>> d.mean
+        2.0
+    """
+    try:
+        factory = _FACTORIES[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown distribution {kind!r}; choose from {sorted(_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,241 @@
+"""Online statistics used for latency and power reporting.
+
+The evaluation reports average and tail (p99) request latency and average
+power. :class:`OnlineStats` keeps numerically-stable running moments
+(Welford), :class:`PercentileTracker` keeps all samples for exact
+percentiles (simulations here are < a few million samples, so exact is
+affordable and avoids quantile-sketch error in the reproduction), and
+:class:`Histogram` provides fixed-bin summaries for traces.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class OnlineStats:
+    """Streaming mean/variance/min/max via Welford's algorithm."""
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def add_many(self, values: Sequence[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        """Mean of observations; 0.0 if empty (convenient for reports)."""
+        return self._mean if self._n else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator); 0.0 with < 2 observations."""
+        if self._n < 2:
+            return 0.0
+        return self._m2 / (self._n - 1)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        if self._n == 0:
+            raise ValueError("no observations")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self._n == 0:
+            raise ValueError("no observations")
+        return self._max
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Return a new OnlineStats equivalent to seeing both streams."""
+        merged = OnlineStats()
+        n = self._n + other._n
+        if n == 0:
+            return merged
+        delta = other._mean - self._mean
+        merged._n = n
+        merged._mean = self._mean + delta * other._n / n
+        merged._m2 = self._m2 + other._m2 + delta * delta * self._n * other._n / n
+        merged._min = min(self._min, other._min)
+        merged._max = max(self._max, other._max)
+        return merged
+
+
+class PercentileTracker:
+    """Exact percentiles over all recorded samples.
+
+    Samples are appended in O(1) and sorted lazily on the first query
+    after a mutation, so recording millions of latencies costs O(n log n)
+    total instead of the O(n^2) of sorted insertion.
+    """
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._dirty = False
+
+    def add(self, value: float) -> None:
+        self._samples.append(value)
+        self._dirty = True
+
+    def add_many(self, values: Sequence[float]) -> None:
+        self._samples.extend(values)
+        self._dirty = True
+
+    @property
+    def _sorted(self) -> List[float]:
+        if self._dirty:
+            self._samples.sort()
+            self._dirty = False
+        return self._samples
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile with linear interpolation (numpy 'linear').
+
+        Raises:
+            ConfigurationError: if p outside [0, 100].
+            ValueError: if no samples recorded.
+        """
+        if not 0 <= p <= 100:
+            raise ConfigurationError(f"percentile must be in [0, 100], got {p}")
+        if not self._sorted:
+            raise ValueError("no samples recorded")
+        if len(self._sorted) == 1:
+            return self._sorted[0]
+        data = self._sorted
+        rank = (p / 100.0) * (len(data) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high or data[low] == data[high]:
+            return data[low]
+        frac = rank - low
+        return data[low] * (1 - frac) + data[high] * frac
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of samples strictly above ``threshold``."""
+        if not self._sorted:
+            return 0.0
+        idx = bisect_left(self._sorted, threshold)
+        # advance past equal values
+        while idx < len(self._sorted) and self._sorted[idx] == threshold:
+            idx += 1
+        return (len(self._sorted) - idx) / len(self._sorted)
+
+
+class Histogram:
+    """Fixed-width binning over [low, high) with under/overflow bins."""
+
+    def __init__(self, low: float, high: float, bins: int):
+        if bins <= 0:
+            raise ConfigurationError(f"bins must be positive, got {bins}")
+        if not low < high:
+            raise ConfigurationError(f"need low < high, got [{low}, {high})")
+        self._low = low
+        self._high = high
+        self._bins = bins
+        self._width = (high - low) / bins
+        self._counts = [0] * bins
+        self._underflow = 0
+        self._overflow = 0
+        self._total = 0
+
+    def add(self, value: float) -> None:
+        self._total += 1
+        if value < self._low:
+            self._underflow += 1
+        elif value >= self._high:
+            self._overflow += 1
+        else:
+            idx = int((value - self._low) / self._width)
+            # guard against float edge landing exactly on high
+            idx = min(idx, self._bins - 1)
+            self._counts[idx] += 1
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def counts(self) -> List[int]:
+        return list(self._counts)
+
+    @property
+    def underflow(self) -> int:
+        return self._underflow
+
+    @property
+    def overflow(self) -> int:
+        return self._overflow
+
+    def bin_edges(self) -> List[float]:
+        return [self._low + i * self._width for i in range(self._bins + 1)]
+
+    def mode_bin(self) -> Optional[int]:
+        """Index of the most populated bin, or None if empty."""
+        if self._total == self._underflow + self._overflow:
+            return None
+        best = max(range(self._bins), key=lambda i: self._counts[i])
+        return best
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Weighted mean; the workhorse of residency-weighted power (Eq. 2).
+
+    Raises:
+        ConfigurationError: on length mismatch or non-positive total weight.
+    """
+    if len(values) != len(weights):
+        raise ConfigurationError("values and weights must have equal length")
+    total = sum(weights)
+    if total <= 0:
+        raise ConfigurationError(f"total weight must be positive, got {total}")
+    return sum(v * w for v, w in zip(values, weights)) / total

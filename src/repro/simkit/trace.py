@@ -1,0 +1,77 @@
+"""Event tracing for debugging and analysis.
+
+A :class:`TraceRecorder` collects (time, source, kind, payload) tuples.
+Simulation actors emit into it when tracing is enabled; it is disabled by
+default so hot loops pay only a boolean check.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, NamedTuple, Optional
+
+
+class TraceEvent(NamedTuple):
+    time: float
+    source: str
+    kind: str
+    payload: Any
+
+
+class TraceRecorder:
+    """Append-only trace with simple filtering helpers."""
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None):
+        self.enabled = enabled
+        self._capacity = capacity
+        self._events: List[TraceEvent] = []
+        self._dropped = 0
+
+    def record(self, time: float, source: str, kind: str, payload: Any = None) -> None:
+        """Record one event if tracing is enabled and capacity allows."""
+        if not self.enabled:
+            return
+        if self._capacity is not None and len(self._events) >= self._capacity:
+            self._dropped += 1
+            return
+        self._events.append(TraceEvent(time, source, kind, payload))
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events discarded because the trace hit its capacity."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def filter(self, source: Optional[str] = None, kind: Optional[str] = None) -> List[TraceEvent]:
+        """Events matching the given source and/or kind."""
+        out = []
+        for event in self._events:
+            if source is not None and event.source != source:
+                continue
+            if kind is not None and event.kind != kind:
+                continue
+            out.append(event)
+        return out
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Histogram of event kinds; handy for assertions in tests."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._dropped = 0
+
+
+NULL_TRACE = TraceRecorder(enabled=False)
+"""A shared disabled recorder; actors default to this to avoid None checks."""

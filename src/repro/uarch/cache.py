@@ -1,0 +1,87 @@
+"""Private L1/L2 cache model.
+
+The C6 entry flow must flush the private caches; the flush time depends on
+how many lines are dirty and the core frequency (Sec 3). This model tracks
+an approximate dirty fraction as the workload runs so the simulator can
+charge a workload-dependent C6 entry latency, and answers coherence
+queries (does a snoop hit here?) probabilistically.
+
+It is intentionally a statistical cache — no tag arrays — because the
+evaluation consumes flush *time* and snoop *cost*, not hit rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.latency import CacheFlushModel
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class PrivateCaches:
+    """L1+L2 state relevant to idle transitions.
+
+    Attributes:
+        flush_model: geometry/cost model used for flush-time estimates.
+        write_fraction: fraction of requests that dirty lines (service
+            write ratio; ETC Memcached is ~3% SETs, MySQL OLTP far more).
+        dirty_growth_per_request: dirty-fraction increase per write-heavy
+            request served (saturates at ``max_dirty_fraction``).
+        max_dirty_fraction: dirtiness ceiling (50% is the paper's example
+            operating point).
+    """
+
+    flush_model: CacheFlushModel = field(default_factory=CacheFlushModel)
+    write_fraction: float = 0.1
+    dirty_growth_per_request: float = 0.002
+    max_dirty_fraction: float = 0.5
+    _dirty_fraction: float = field(default=0.25, init=False)
+    _flushes: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ConfigurationError("write_fraction must be in [0, 1]")
+        if self.dirty_growth_per_request < 0:
+            raise ConfigurationError("dirty growth must be >= 0")
+        if not 0.0 <= self.max_dirty_fraction <= 1.0:
+            raise ConfigurationError("max_dirty_fraction must be in [0, 1]")
+        self._dirty_fraction = min(self._dirty_fraction, self.max_dirty_fraction)
+
+    @property
+    def dirty_fraction(self) -> float:
+        return self._dirty_fraction
+
+    @property
+    def flush_count(self) -> int:
+        return self._flushes
+
+    def record_request(self) -> None:
+        """A request was served on this core; dirtiness creeps up."""
+        growth = self.dirty_growth_per_request * self.write_fraction
+        self._dirty_fraction = min(
+            self.max_dirty_fraction, self._dirty_fraction + growth
+        )
+
+    def flush_time(self, frequency_hz: float) -> float:
+        """Seconds to flush at the current dirtiness (C6 entry cost)."""
+        return self.flush_model.flush_time(self._dirty_fraction, frequency_hz)
+
+    def flush(self, frequency_hz: float) -> float:
+        """Flush the caches (C6 entry): returns the time spent, resets state."""
+        duration = self.flush_time(frequency_hz)
+        self._dirty_fraction = 0.0
+        self._flushes += 1
+        return duration
+
+    def reset_after_refill(self, warm_fraction: float = 0.25) -> None:
+        """After C6 exit the caches refill; restore a warm dirtiness level.
+
+        Raises:
+            ConfigurationError: if warm_fraction outside [0, max].
+        """
+        if not 0.0 <= warm_fraction <= self.max_dirty_fraction:
+            raise ConfigurationError(
+                f"warm fraction must be in [0, {self.max_dirty_fraction}]"
+            )
+        self._dirty_fraction = warm_fraction

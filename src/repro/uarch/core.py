@@ -1,0 +1,195 @@
+"""CPU core model: C-state lifecycle, residency and energy accounting.
+
+A :class:`Core` is the bookkeeping entity the server simulator drives: it
+tracks which C-state the core occupies, integrates per-state residency and
+energy (the simulated analogue of the residency MSRs and RAPL counters the
+paper reads on real hardware), and counts transitions.
+
+The class is deliberately time-explicit — every mutation takes the current
+simulation time — so it can be driven by the event engine, by tests, or by
+hand without hidden globals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.cstates import CState, CStateCatalog, FrequencyPoint, active_power
+from repro.errors import SimulationError
+from repro.power.rapl import EnergyCounter
+
+
+@dataclass
+class CoreStats:
+    """Snapshot of a core's accumulated counters.
+
+    Attributes:
+        residency_seconds: seconds spent in each state (by name).
+        transitions: number of entries into each state.
+        energy_joules: total integrated energy.
+        wall_seconds: total observed span.
+    """
+
+    residency_seconds: Dict[str, float]
+    transitions: Dict[str, int]
+    energy_joules: float
+    wall_seconds: float
+
+    def residency_fraction(self, name: str) -> float:
+        """Fraction of wall time in state ``name`` (RCi of Eq. 2)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.residency_seconds.get(name, 0.0) / self.wall_seconds
+
+    @property
+    def average_power(self) -> float:
+        """Average power over the span (RAPL-style)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.energy_joules / self.wall_seconds
+
+    def residency_table(self) -> Dict[str, float]:
+        """All residency fractions, normalised. Sums to ~1."""
+        return {
+            name: self.residency_fraction(name) for name in self.residency_seconds
+        }
+
+
+class Core:
+    """One CPU core with C-state lifecycle tracking.
+
+    The core starts in the catalog's active state (C0). Use
+    :meth:`enter_idle` / :meth:`wake` to move through states and
+    :meth:`snapshot` to read the accumulated statistics.
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        catalog: CStateCatalog,
+        start_time: float = 0.0,
+        frequency: Optional[FrequencyPoint] = None,
+    ):
+        self.core_id = core_id
+        self.catalog = catalog
+        self._state: CState = catalog.active
+        self._frequency = frequency or FrequencyPoint.P1
+        self._state_since = start_time
+        self._start_time = start_time
+        self._residency: Dict[str, float] = {}
+        self._transitions: Dict[str, int] = {}
+        self._energy = EnergyCounter(f"core{core_id}")
+        self._energy.start(start_time, self._current_power())
+        self._snoop_power_delta = 0.0
+
+    # -- state queries -----------------------------------------------------
+    @property
+    def state(self) -> CState:
+        return self._state
+
+    @property
+    def is_active(self) -> bool:
+        return self._state.is_active
+
+    @property
+    def frequency(self) -> FrequencyPoint:
+        return self._frequency
+
+    def _current_power(self) -> float:
+        if self._state.is_active:
+            return active_power(self._frequency)
+        return self._state.power_watts + self._snoop_power_delta
+
+    @property
+    def current_power(self) -> float:
+        return self._current_power()
+
+    # -- transitions ------------------------------------------------------------
+    def _accrue(self, time: float) -> None:
+        if time < self._state_since:
+            raise SimulationError(
+                f"core {self.core_id}: time ran backwards "
+                f"({time} < {self._state_since})"
+            )
+        span = time - self._state_since
+        name = self._state.name
+        self._residency[name] = self._residency.get(name, 0.0) + span
+        self._state_since = time
+
+    def enter_idle(self, time: float, state: CState) -> None:
+        """Enter an idle state (the governor already chose it).
+
+        Raises:
+            SimulationError: if already idle or the state is active.
+        """
+        if not self._state.is_active:
+            raise SimulationError(
+                f"core {self.core_id}: cannot enter {state.name} from "
+                f"{self._state.name}"
+            )
+        if state.is_active:
+            raise SimulationError(f"core {self.core_id}: {state.name} is not idle")
+        self._accrue(time)
+        self._state = state
+        self._transitions[state.name] = self._transitions.get(state.name, 0) + 1
+        if state.frequency is not None:
+            self._frequency = state.frequency
+        self._energy.set_power(time, self._current_power())
+
+    def wake(self, time: float, frequency: Optional[FrequencyPoint] = None) -> float:
+        """Exit the idle state back to C0; returns the exit latency paid.
+
+        Raises:
+            SimulationError: if the core is already active.
+        """
+        if self._state.is_active:
+            raise SimulationError(f"core {self.core_id}: already active")
+        exit_latency = self._state.exit_latency
+        self._accrue(time)
+        self._snoop_power_delta = 0.0
+        self._state = self.catalog.active
+        if frequency is not None:
+            self._frequency = frequency
+        elif self._frequency is FrequencyPoint.PN:
+            # Waking from a Pn state (C1E/C6AE) ramps back to base.
+            self._frequency = FrequencyPoint.P1
+        self._transitions["C0"] = self._transitions.get("C0", 0) + 1
+        self._energy.set_power(time, self._current_power())
+        return exit_latency
+
+    def set_frequency(self, time: float, frequency: FrequencyPoint) -> None:
+        """DVFS change while active (e.g. Turbo grant/revoke)."""
+        if not self._state.is_active:
+            raise SimulationError(
+                f"core {self.core_id}: cannot DVFS while in {self._state.name}"
+            )
+        self._accrue(time)
+        self._frequency = frequency
+        self._energy.set_power(time, self._current_power())
+
+    def begin_snoop_service(self, time: float, power_delta: float) -> None:
+        """Cache domain woken to serve snoops while idle (C1 or C6A)."""
+        if self._state.is_active:
+            raise SimulationError(f"core {self.core_id}: snoop service is an idle-state event")
+        self._accrue(time)
+        self._snoop_power_delta = power_delta
+        self._energy.set_power(time, self._current_power())
+
+    def end_snoop_service(self, time: float) -> None:
+        """Snoop burst served; fall back to the quiescent idle power."""
+        self._accrue(time)
+        self._snoop_power_delta = 0.0
+        self._energy.set_power(time, self._current_power())
+
+    # -- reporting ------------------------------------------------------------
+    def snapshot(self, time: float) -> CoreStats:
+        """Close accounting at ``time`` and return the statistics."""
+        self._accrue(time)
+        energy = self._energy.finish(time)
+        return CoreStats(
+            residency_seconds=dict(self._residency),
+            transitions=dict(self._transitions),
+            energy_joules=energy,
+            wall_seconds=time - self._start_time,
+        )

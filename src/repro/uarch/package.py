@@ -1,0 +1,89 @@
+"""Multi-core package model.
+
+Aggregates per-core power into package power (what Fig 9c plots) and owns
+the shared turbo budget. The modelled part approximates one socket of the
+paper's Xeon Silver 4114 testbed: 10 physical cores plus an uncore (mesh,
+LLC, memory controllers, IO) whose power is load-insensitive to first
+order at these utilisations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.uarch.core import Core
+from repro.uarch.turbo import TurboBudget, TurboConfig
+
+
+@dataclass(frozen=True)
+class PackageConfig:
+    """Package-level parameters.
+
+    Attributes:
+        cores: physical core count per socket (Xeon Silver 4114: 10).
+        uncore_watts: socket uncore power (mesh + LLC + IMC + IO). The
+            4114's package idle sits tens of watts above the sum of core
+            idle powers; ~38 W reproduces the Fig 9c band.
+        sockets: sockets contributing to the reported package power.
+    """
+
+    cores: int = 10
+    uncore_watts: float = 38.0
+    sockets: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError("core count must be positive")
+        if self.uncore_watts < 0:
+            raise ConfigurationError("uncore power must be >= 0")
+        if self.sockets <= 0:
+            raise ConfigurationError("socket count must be positive")
+
+
+class Package:
+    """A socket: cores + uncore + turbo budget."""
+
+    def __init__(
+        self,
+        cores: Sequence[Core],
+        config: PackageConfig = PackageConfig(),
+        turbo: TurboBudget = None,
+    ):
+        if not cores:
+            raise ConfigurationError("package needs at least one core")
+        if len(cores) != config.cores:
+            raise ConfigurationError(
+                f"got {len(cores)} cores but config says {config.cores}"
+            )
+        self.cores: List[Core] = list(cores)
+        self.config = config
+        self.turbo = turbo if turbo is not None else TurboBudget(TurboConfig())
+
+    @property
+    def core_power(self) -> float:
+        """Instantaneous sum of core powers."""
+        return sum(core.current_power for core in self.cores)
+
+    @property
+    def package_power(self) -> float:
+        """Instantaneous socket power: cores + uncore."""
+        return (self.core_power + self.config.uncore_watts) * self.config.sockets
+
+    def average_package_power(self, time: float) -> float:
+        """Average package power over each core's observed span.
+
+        Uses core energy counters (closing them at ``time``), so call this
+        once at the end of a run.
+        """
+        total_core = 0.0
+        span = None
+        for core in self.cores:
+            stats = core.snapshot(time)
+            total_core += stats.energy_joules
+            span = stats.wall_seconds if span is None else span
+        if not span or span <= 0:
+            raise ConfigurationError("cannot average power over empty span")
+        avg_cores = total_core / span
+        return (avg_cores + self.config.uncore_watts) * self.config.sockets

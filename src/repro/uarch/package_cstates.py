@@ -1,0 +1,139 @@
+"""Package-level C-states (the paper's footnote 1 context).
+
+Package C-states (PC2/PC6/PC8...) gate *shared* resources — LLC, mesh,
+memory controllers — and therefore require **every** core to be idle
+simultaneously, plus residencies even longer than core C6's. The paper
+notes they "take longer to transition and require longer residency
+times" and targets client usage patterns (e.g. >80% of video-streaming
+time in C8).
+
+This model quantifies why they cannot rescue a latency-critical server:
+with N cores independently idle a fraction ``p`` of the time, the whole
+package is simultaneously idle only ~``p^N`` of the time, and the
+simultaneous-idle *intervals* are far shorter than any package target
+residency at realistic loads. Core-level agility (AW) is therefore the
+binding lever — exactly the paper's positioning (package-level work is
+delegated to AgilePkgC [9]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.units import MS, US
+
+
+@dataclass(frozen=True)
+class PackageCState:
+    """One package idle state.
+
+    Attributes:
+        name: "PC2", "PC6", ...
+        power_watts: package power while resident (uncore + all cores).
+        target_residency: minimum simultaneous-idle span to profit.
+        exit_latency: time to wake the package.
+    """
+
+    name: str
+    power_watts: float
+    target_residency: float
+    exit_latency: float
+
+    def __post_init__(self) -> None:
+        if self.power_watts < 0:
+            raise ConfigurationError(f"{self.name}: power must be >= 0")
+        if self.target_residency < 0 or self.exit_latency < 0:
+            raise ConfigurationError(f"{self.name}: times must be >= 0")
+
+
+def skylake_package_cstates() -> List[PackageCState]:
+    """Representative Skylake-server package states ([7-9] band)."""
+    return [
+        PackageCState("PC2", power_watts=25.0, target_residency=200 * US,
+                      exit_latency=40 * US),
+        PackageCState("PC6", power_watts=12.0, target_residency=2 * MS,
+                      exit_latency=400 * US),
+    ]
+
+
+@dataclass(frozen=True)
+class SimultaneousIdleModel:
+    """All-cores-idle statistics under independent per-core idling.
+
+    Attributes:
+        cores: core count.
+        per_core_idle_fraction: fraction of time one core is idle.
+        mean_idle_interval: mean duration of one core's idle interval.
+    """
+
+    cores: int
+    per_core_idle_fraction: float
+    mean_idle_interval: float
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError("core count must be positive")
+        if not 0.0 <= self.per_core_idle_fraction <= 1.0:
+            raise ConfigurationError("idle fraction must be in [0, 1]")
+        if self.mean_idle_interval <= 0:
+            raise ConfigurationError("idle interval must be positive")
+
+    @property
+    def all_idle_fraction(self) -> float:
+        """Fraction of time every core is idle at once: p^N."""
+        return self.per_core_idle_fraction ** self.cores
+
+    @property
+    def mean_all_idle_interval(self) -> float:
+        """Mean duration of an all-idle interval.
+
+        Under the independent alternating-renewal approximation, the
+        all-idle period ends when *any* core wakes; with exponential
+        residual idle times the minimum of N residuals has mean
+        ``mean_idle_interval / N``.
+        """
+        return self.mean_idle_interval / self.cores
+
+    def usable_fraction(self, state: PackageCState) -> float:
+        """Fraction of time the package could actually sit in ``state``.
+
+        Zero unless the typical all-idle interval exceeds the state's
+        target residency (the governor would never commit otherwise).
+        """
+        if self.mean_all_idle_interval < state.target_residency:
+            return 0.0
+        return self.all_idle_fraction
+
+    def best_state(self, states: List[PackageCState]) -> Tuple[str, float]:
+        """(name, usable fraction) of the deepest usable package state,
+        or ("PC0", 0.0) when none qualifies."""
+        usable = [
+            (s.name, self.usable_fraction(s))
+            for s in sorted(states, key=lambda s: s.power_watts, reverse=True)
+            if self.usable_fraction(s) > 0.0
+        ]
+        if not usable:
+            return ("PC0", 0.0)
+        return usable[-1]
+
+
+def package_state_opportunity(
+    per_core_idle_fraction: float,
+    mean_idle_interval: float,
+    cores: int = 10,
+) -> Tuple[str, float]:
+    """Convenience: the deepest usable package state at an operating
+    point described by per-core idling statistics.
+
+    At the paper's Memcached loads (idle intervals of tens of us to ~1 ms
+    across 10 cores) this returns ("PC0", 0.0) — package states are
+    unusable, so the savings must come from core-level states.
+    """
+    model = SimultaneousIdleModel(
+        cores=cores,
+        per_core_idle_fraction=per_core_idle_fraction,
+        mean_idle_interval=mean_idle_interval,
+    )
+    return model.best_state(skylake_package_cstates())

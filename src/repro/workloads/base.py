@@ -1,0 +1,137 @@
+"""Service-time models.
+
+Each request's service time splits into:
+
+- a *frequency-scalable* part (instructions retiring on the core), which
+  shrinks proportionally when the core runs above base frequency, and
+- a *fixed* part (memory, NIC, lock stalls) that frequency does not help.
+
+The split determines the workload's *frequency scalability* (Sec 6.2,
+Fig 8d): the performance change per unit frequency change. It is also how
+the AW model charges the ~1% fmax penalty of the extra power gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.cstates import FrequencyPoint
+from repro.errors import WorkloadError
+from repro.simkit.distributions import Distribution
+from repro.units import US
+
+
+@dataclass
+class ServiceTimeModel:
+    """Two-component service-time model.
+
+    Attributes:
+        scalable: distribution of the core-bound component *at base
+            frequency* (P1).
+        fixed: distribution of the frequency-insensitive component.
+        base_frequency: the frequency the scalable component is quoted at.
+    """
+
+    scalable: Distribution
+    fixed: Distribution
+    base_frequency: FrequencyPoint = FrequencyPoint.P1
+
+    def sample(
+        self,
+        frequency: FrequencyPoint = None,
+        frequency_derate: float = 0.0,
+    ) -> float:
+        """One service time at the given operating point.
+
+        Args:
+            frequency: actual core frequency (defaults to base).
+            frequency_derate: fractional fmax loss (AW's ~1% power-gate
+                penalty); slows the scalable component only.
+        """
+        if not 0.0 <= frequency_derate < 1.0:
+            raise WorkloadError(f"derate must be in [0, 1), got {frequency_derate}")
+        frequency = frequency or self.base_frequency
+        effective_hz = frequency.frequency_hz * (1.0 - frequency_derate)
+        ratio = self.base_frequency.frequency_hz / effective_hz
+        return self.scalable.sample() * ratio + self.fixed.sample()
+
+    def mean_at(
+        self,
+        frequency: FrequencyPoint = None,
+        frequency_derate: float = 0.0,
+    ) -> float:
+        """Analytic mean service time at an operating point."""
+        if not 0.0 <= frequency_derate < 1.0:
+            raise WorkloadError(f"derate must be in [0, 1), got {frequency_derate}")
+        frequency = frequency or self.base_frequency
+        effective_hz = frequency.frequency_hz * (1.0 - frequency_derate)
+        ratio = self.base_frequency.frequency_hz / effective_hz
+        return self.scalable.mean * ratio + self.fixed.mean
+
+    @property
+    def mean(self) -> float:
+        """Mean service time at base frequency."""
+        return self.scalable.mean + self.fixed.mean
+
+    @property
+    def scalable_fraction(self) -> float:
+        """Share of mean service time that scales with frequency."""
+        return self.scalable.mean / self.mean
+
+    def frequency_scalability(
+        self,
+        f_low_hz: float = 2.0e9,
+        f_high_hz: float = 2.2e9,
+    ) -> float:
+        """Performance change per unit frequency change (Sec 6.2, [144]).
+
+        Defined as (perf gain) / (frequency gain) between two frequencies,
+        where perf is 1 / mean service time. A fully core-bound workload
+        scores 1.0; a fully memory-bound one scores 0.0.
+        """
+        if f_low_hz <= 0 or f_high_hz <= f_low_hz:
+            raise WorkloadError("need 0 < f_low < f_high")
+        base_hz = self.base_frequency.frequency_hz
+        t_low = self.scalable.mean * (base_hz / f_low_hz) + self.fixed.mean
+        t_high = self.scalable.mean * (base_hz / f_high_hz) + self.fixed.mean
+        perf_gain = t_low / t_high - 1.0
+        freq_gain = f_high_hz / f_low_hz - 1.0
+        return perf_gain / freq_gain
+
+
+@dataclass
+class Workload:
+    """A named service: request service-time model plus traffic traits.
+
+    Attributes:
+        name: service name ("memcached", ...).
+        service: the per-request service-time model.
+        write_fraction: share of requests that dirty cache lines (drives
+            the C6 flush cost).
+        network_latency: fixed client<->server network time added to
+            server-side latency for end-to-end numbers (the paper measures
+            117 us for its Memcached testbed).
+        snoop_rate_hz: background snoop-burst rate per idle core induced
+            by the other cores' traffic at nominal load.
+    """
+
+    name: str
+    service: ServiceTimeModel
+    write_fraction: float = 0.1
+    network_latency: float = 117 * US
+    snoop_rate_hz: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise WorkloadError("write_fraction must be in [0, 1]")
+        if self.network_latency < 0:
+            raise WorkloadError("network latency must be >= 0")
+        if self.snoop_rate_hz < 0:
+            raise WorkloadError("snoop rate must be >= 0")
+
+    def utilization(self, qps: float, cores: int) -> float:
+        """Offered per-core utilisation at ``qps`` spread over ``cores``."""
+        if qps < 0 or cores <= 0:
+            raise WorkloadError("need qps >= 0 and cores > 0")
+        return qps * self.service.mean / cores

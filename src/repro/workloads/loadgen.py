@@ -1,0 +1,101 @@
+"""Open-loop load generation (Mutilate-style).
+
+The paper drives Memcached with the Mutilate load generator configured to
+recreate Facebook's ETC workload: open-loop (arrivals do not wait for
+completions — the right model for measuring tail latency) with Poisson
+arrivals at a target queries-per-second rate.
+
+:class:`OpenLoopPoisson` produces the arrival schedule; the server node
+consumes it event by event.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import WorkloadError
+from repro.simkit.distributions import Exponential
+
+
+class LoadGenerator:
+    """Interface: an arrival-time iterator."""
+
+    def arrivals(self, horizon: float) -> Iterator[float]:
+        """Yield absolute arrival times in [0, horizon)."""
+        raise NotImplementedError
+
+    @property
+    def rate_qps(self) -> float:
+        raise NotImplementedError
+
+
+class OpenLoopPoisson(LoadGenerator):
+    """Open-loop Poisson arrivals at a fixed aggregate rate.
+
+    Args:
+        qps: aggregate arrival rate (queries per second).
+        seed: RNG seed for the inter-arrival stream.
+    """
+
+    def __init__(self, qps: float, seed: int = 1):
+        if qps <= 0:
+            raise WorkloadError(f"qps must be positive, got {qps}")
+        self._qps = qps
+        self._interarrival = Exponential(1.0 / qps, seed=seed)
+
+    @property
+    def rate_qps(self) -> float:
+        return self._qps
+
+    def arrivals(self, horizon: float) -> Iterator[float]:
+        if horizon <= 0:
+            raise WorkloadError(f"horizon must be positive, got {horizon}")
+        t = self._interarrival.sample()
+        while t < horizon:
+            yield t
+            t += self._interarrival.sample()
+
+    def expected_count(self, horizon: float) -> float:
+        return self._qps * horizon
+
+
+class BurstyLoadGenerator(LoadGenerator):
+    """ON/OFF modulated Poisson process (microservice-style burstiness).
+
+    During ON periods traffic flows at ``peak_qps``; OFF periods are
+    silent. Average rate = peak_qps * duty_cycle. Used by ablation
+    studies of governor behaviour under irregular request streams.
+    """
+
+    def __init__(
+        self,
+        peak_qps: float,
+        on_mean: float,
+        off_mean: float,
+        seed: int = 1,
+    ):
+        if peak_qps <= 0:
+            raise WorkloadError("peak_qps must be positive")
+        if on_mean <= 0 or off_mean <= 0:
+            raise WorkloadError("ON/OFF period means must be positive")
+        self._peak = peak_qps
+        self._interarrival = Exponential(1.0 / peak_qps, seed=seed)
+        self._on = Exponential(on_mean, seed=seed + 1)
+        self._off = Exponential(off_mean, seed=seed + 2)
+        self._duty = on_mean / (on_mean + off_mean)
+
+    @property
+    def rate_qps(self) -> float:
+        return self._peak * self._duty
+
+    def arrivals(self, horizon: float) -> Iterator[float]:
+        if horizon <= 0:
+            raise WorkloadError(f"horizon must be positive, got {horizon}")
+        t = 0.0
+        while t < horizon:
+            on_end = t + self._on.sample()
+            arrival = t + self._interarrival.sample()
+            while arrival < min(on_end, horizon):
+                yield arrival
+                arrival += self._interarrival.sample()
+            t = on_end + self._off.sample()

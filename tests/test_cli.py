@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import EXPERIMENT_IDS, build_parser, cmd_run, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_with_ids(self):
+        args = build_parser().parse_args(["run", "table1", "table2"])
+        assert args.ids == ["table1", "table2"]
+        assert not args.all
+
+    def test_run_all_flag(self):
+        args = build_parser().parse_args(["run", "--all"])
+        assert args.all
+
+    def test_output_dir_flag(self):
+        args = build_parser().parse_args(["run", "table1", "-o", "out"])
+        assert args.output_dir == "out"
+
+
+class TestCommands:
+    def test_list_prints_all_ids(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in EXPERIMENT_IDS:
+            assert experiment_id in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "table1", "motivation"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Eq. 1" in out
+
+    def test_run_nothing_errors(self, capsys):
+        assert main(["run"]) == 2
+
+    def test_unknown_id_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_output_dir_writes_files(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "results")
+        assert cmd_run(["table2"], run_all=False, output_dir=out_dir) == 0
+        path = os.path.join(out_dir, "table2.txt")
+        assert os.path.exists(path)
+        with open(path) as handle:
+            assert "Table 2" in handle.read()
+
+    def test_experiment_ids_all_importable(self):
+        import importlib
+
+        for experiment_id in EXPERIMENT_IDS:
+            module = importlib.import_module(f"repro.experiments.{experiment_id}")
+            assert hasattr(module, "main")
+            assert hasattr(module, "run")

@@ -1,0 +1,204 @@
+"""Tests for seeded random distributions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.simkit import (
+    Degenerate,
+    EmpiricalDistribution,
+    Exponential,
+    LogNormal,
+    MixtureDistribution,
+    Pareto,
+    Uniform,
+    make_distribution,
+)
+
+
+class TestDegenerate:
+    def test_always_returns_value(self):
+        d = Degenerate(3.5)
+        assert all(d.sample() == 3.5 for _ in range(10))
+
+    def test_mean(self):
+        assert Degenerate(2.0).mean == 2.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Degenerate(-1.0)
+
+
+class TestExponential:
+    def test_mean_property(self):
+        assert Exponential(2.0).mean == 2.0
+
+    def test_empirical_mean_close(self):
+        d = Exponential(1.0, seed=3)
+        samples = d.sample_many(20000)
+        assert sum(samples) / len(samples) == pytest.approx(1.0, rel=0.05)
+
+    def test_non_negative(self):
+        d = Exponential(0.5, seed=1)
+        assert all(s >= 0 for s in d.sample_many(1000))
+
+    def test_seeded_reproducibility(self):
+        a = Exponential(1.0, seed=9).sample_many(100)
+        b = Exponential(1.0, seed=9).sample_many(100)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = Exponential(1.0, seed=1).sample_many(10)
+        b = Exponential(1.0, seed=2).sample_many(10)
+        assert a != b
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Exponential(0.0)
+
+
+class TestUniform:
+    def test_bounds(self):
+        d = Uniform(1.0, 2.0, seed=5)
+        assert all(1.0 <= s < 2.001 for s in d.sample_many(1000))
+
+    def test_mean(self):
+        assert Uniform(1.0, 3.0).mean == 2.0
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Uniform(2.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            Uniform(-1.0, 1.0)
+
+
+class TestLogNormal:
+    def test_mean_parameterisation(self):
+        d = LogNormal(mean=10e-6, sigma=0.6, seed=2)
+        samples = d.sample_many(50000)
+        assert sum(samples) / len(samples) == pytest.approx(10e-6, rel=0.05)
+
+    def test_zero_sigma_degenerates(self):
+        d = LogNormal(mean=5.0, sigma=0.0)
+        assert d.sample() == 5.0
+
+    def test_right_skew(self):
+        d = LogNormal(mean=1.0, sigma=1.0, seed=4)
+        samples = sorted(d.sample_many(10000))
+        median = samples[len(samples) // 2]
+        assert median < 1.0  # mean > median for right-skewed
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LogNormal(mean=-1.0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LogNormal(mean=1.0, sigma=-0.1)
+
+
+class TestPareto:
+    def test_mean_parameterisation(self):
+        d = Pareto(mean=2.0, alpha=3.0, seed=6)
+        samples = d.sample_many(100000)
+        assert sum(samples) / len(samples) == pytest.approx(2.0, rel=0.1)
+
+    def test_minimum_is_xm(self):
+        d = Pareto(mean=2.0, alpha=2.0, seed=7)
+        xm = 2.0 * (2.0 - 1.0) / 2.0
+        assert min(d.sample_many(1000)) >= xm
+
+    def test_alpha_at_most_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Pareto(mean=1.0, alpha=1.0)
+
+    def test_heavy_tail(self):
+        d = Pareto(mean=1.0, alpha=2.1, seed=8)
+        samples = d.sample_many(100000)
+        assert max(samples) > 10 * d.mean
+
+
+class TestEmpirical:
+    def test_samples_from_observations(self):
+        obs = [1.0, 2.0, 3.0]
+        d = EmpiricalDistribution(obs, seed=1)
+        assert all(s in obs for s in d.sample_many(100))
+
+    def test_mean(self):
+        assert EmpiricalDistribution([1.0, 3.0]).mean == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EmpiricalDistribution([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EmpiricalDistribution([1.0, -1.0])
+
+
+class TestMixture:
+    def test_mean_is_weighted(self):
+        d = MixtureDistribution(
+            [(1.0, Degenerate(0.0)), (1.0, Degenerate(2.0))], seed=1
+        )
+        assert d.mean == pytest.approx(1.0)
+
+    def test_samples_come_from_components(self):
+        d = MixtureDistribution(
+            [(0.5, Degenerate(1.0)), (0.5, Degenerate(2.0))], seed=2
+        )
+        assert set(d.sample_many(200)) == {1.0, 2.0}
+
+    def test_weights_normalised(self):
+        d = MixtureDistribution(
+            [(10.0, Degenerate(1.0)), (30.0, Degenerate(5.0))], seed=3
+        )
+        assert d.mean == pytest.approx(0.25 * 1.0 + 0.75 * 5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MixtureDistribution([])
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MixtureDistribution([(0.0, Degenerate(1.0))])
+
+
+class TestFactory:
+    def test_builds_exponential(self):
+        d = make_distribution("exponential", mean=2.0, seed=7)
+        assert isinstance(d, Exponential)
+        assert d.mean == 2.0
+
+    def test_builds_all_kinds(self):
+        assert isinstance(make_distribution("degenerate", value=1.0), Degenerate)
+        assert isinstance(make_distribution("uniform", low=0, high=1), Uniform)
+        assert isinstance(make_distribution("lognormal", mean=1.0), LogNormal)
+        assert isinstance(make_distribution("pareto", mean=1.0), Pareto)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_distribution("zipf", mean=1.0)
+
+
+class TestPropertyBased:
+    @given(mean=st.floats(min_value=1e-9, max_value=1e3))
+    @settings(max_examples=50)
+    def test_exponential_samples_non_negative(self, mean):
+        d = Exponential(mean, seed=0)
+        assert all(s >= 0 for s in d.sample_many(20))
+
+    @given(
+        mean=st.floats(min_value=1e-6, max_value=100.0),
+        sigma=st.floats(min_value=0.0, max_value=2.0),
+    )
+    @settings(max_examples=50)
+    def test_lognormal_positive(self, mean, sigma):
+        d = LogNormal(mean=mean, sigma=sigma, seed=0)
+        assert all(s > 0 for s in d.sample_many(20))
+
+    @given(n=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20)
+    def test_sample_many_length(self, n):
+        assert len(Degenerate(1.0).sample_many(n)) == n

@@ -1,0 +1,122 @@
+"""Tests for the voltage-droop/in-rush and snoop-filter models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, PowerModelError
+from repro.power.droop import (
+    AVX_REFERENCE_WINDOW,
+    InRushModel,
+    IRDropModel,
+    single_gate_wake_unsafe,
+)
+from repro.power.powergate import PowerGate, make_ufpg_zones
+from repro.uarch.snoopfilter import SnoopFilterModel, calibrated_rate_check
+from repro.units import NS
+
+
+class TestIRDropModel:
+    def test_default_penalty_about_1pct(self):
+        # Reproduces the paper's (and [93]'s) < 1% fmax loss.
+        model = IRDropModel()
+        assert model.frequency_penalty == pytest.approx(0.01, abs=0.002)
+
+    def test_extra_droop_is_ir(self):
+        model = IRDropModel(gate_resistance_mohm=2.0, peak_current_amps=5.0)
+        assert model.extra_droop_volts == pytest.approx(0.010)
+
+    def test_better_fabric_smaller_penalty(self):
+        good = IRDropModel(gate_resistance_mohm=0.5)
+        bad = IRDropModel(gate_resistance_mohm=2.0)
+        assert good.frequency_penalty < bad.frequency_penalty
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(PowerModelError):
+            IRDropModel(gate_resistance_mohm=-1.0)
+        with pytest.raises(PowerModelError):
+            IRDropModel(peak_current_amps=0.0)
+
+    @given(r=st.floats(min_value=0.0, max_value=10.0))
+    @settings(max_examples=50)
+    def test_penalty_monotone_in_resistance(self, r):
+        base = IRDropModel(gate_resistance_mohm=r)
+        worse = IRDropModel(gate_resistance_mohm=r + 0.5)
+        assert worse.frequency_penalty > base.frequency_penalty
+
+
+class TestInRushModel:
+    def test_avx_reference_is_exactly_budget(self):
+        gate = PowerGate("avx", relative_area=1.0, stagger_time=AVX_REFERENCE_WINDOW)
+        assert InRushModel().spike_ratio(gate) == pytest.approx(1.0)
+
+    def test_five_zone_plan_is_safe(self):
+        # The Sec 5.3 plan: 0.9 AVX-equivalents over 13.5 ns each = the
+        # qualified charge rate.
+        assert InRushModel().zone_plan_safe(make_ufpg_zones())
+
+    def test_monolithic_wake_unsafe(self):
+        assert single_gate_wake_unsafe()
+
+    def test_worst_zone_ratio(self):
+        zones = make_ufpg_zones()
+        assert InRushModel().worst_zone_ratio(zones) == pytest.approx(1.0, abs=0.01)
+
+    def test_faster_stagger_raises_spike(self):
+        slow = PowerGate("z", relative_area=0.9, stagger_time=13.5 * NS)
+        fast = PowerGate("z", relative_area=0.9, stagger_time=5 * NS)
+        model = InRushModel()
+        assert model.spike_ratio(fast) > model.spike_ratio(slow)
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(PowerModelError):
+            InRushModel().zone_plan_safe([])
+
+    def test_zero_window_rejected(self):
+        gate = PowerGate("z", relative_area=0.5, stagger_time=0.0)
+        with pytest.raises(PowerModelError):
+            InRushModel().spike_ratio(gate)
+
+    @given(zones=st.integers(min_value=5, max_value=40))
+    @settings(max_examples=30)
+    def test_any_valid_zone_split_is_safe(self, zones):
+        assert InRushModel().zone_plan_safe(make_ufpg_zones(zones=zones))
+
+
+class TestSnoopFilterModel:
+    def test_calibrated_band(self):
+        # The workloads' constant ~100-200 Hz per idle core must be
+        # derivable at the mid-load point.
+        rate = calibrated_rate_check()
+        assert 50.0 <= rate <= 500.0
+
+    def test_rate_scales_with_load(self):
+        model = SnoopFilterModel()
+        low = model.snoop_rate_for_idle_core(10_000, 10)
+        high = model.snoop_rate_for_idle_core(500_000, 10)
+        assert high == pytest.approx(low * 50, rel=0.01)
+
+    def test_perfect_filter_directs_everything(self):
+        model = SnoopFilterModel(filter_coverage=1.0)
+        assert model.directed_fraction(10) == 1.0
+
+    def test_worse_filter_means_more_snoops(self):
+        good = SnoopFilterModel(filter_coverage=1.0)
+        bad = SnoopFilterModel(filter_coverage=0.5)
+        assert bad.snoop_rate_for_idle_core(100_000, 10) > good.snoop_rate_for_idle_core(
+            100_000, 10
+        )
+
+    def test_zero_sharing_means_zero_snoops(self):
+        model = SnoopFilterModel(sharing_probability=0.0)
+        assert model.snoop_rate_for_idle_core(500_000, 10) == 0.0
+
+    def test_single_core_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SnoopFilterModel().snoop_rate_for_idle_core(1000, 1)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SnoopFilterModel(sharing_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            SnoopFilterModel(filter_coverage=0.0)

@@ -1,0 +1,158 @@
+"""Tests for the ETC trace-driven Memcached workload."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.units import US
+from repro.workloads.etc_trace import (
+    ETCCostModel,
+    ETCRequest,
+    ETCTraceGenerator,
+    ZipfSampler,
+    etc_service_time_model,
+    memcached_etc_workload,
+)
+
+
+class TestZipfSampler:
+    def test_ranks_in_support(self):
+        sampler = ZipfSampler(n=100, seed=1)
+        ranks = [sampler.sample() for _ in range(1000)]
+        assert all(1 <= r <= 100 for r in ranks)
+
+    def test_skewed_toward_low_ranks(self):
+        sampler = ZipfSampler(n=1000, s=0.99, seed=2)
+        ranks = [sampler.sample() for _ in range(10_000)]
+        top_10 = sum(1 for r in ranks if r <= 10)
+        assert top_10 / len(ranks) > 0.2  # heavy head
+
+    def test_higher_s_more_skew(self):
+        mild = ZipfSampler(n=1000, s=0.5, seed=3)
+        steep = ZipfSampler(n=1000, s=1.5, seed=3)
+        mild_top = sum(1 for _ in range(5000) if mild.sample() <= 10)
+        steep_top = sum(1 for _ in range(5000) if steep.sample() <= 10)
+        assert steep_top > mild_top
+
+    def test_deterministic(self):
+        a = ZipfSampler(n=50, seed=7)
+        b = ZipfSampler(n=50, seed=7)
+        assert [a.sample() for _ in range(50)] == [b.sample() for _ in range(50)]
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(n=0)
+        with pytest.raises(WorkloadError):
+            ZipfSampler(n=10, s=0.0)
+
+
+class TestTraceGenerator:
+    def test_get_fraction_near_97pct(self):
+        gen = ETCTraceGenerator(seed=4)
+        requests = list(gen.requests(10_000))
+        gets = sum(1 for r in requests if r.op == "GET")
+        assert gets / len(requests) == pytest.approx(0.97, abs=0.01)
+
+    def test_value_sizes_in_etc_bands(self):
+        gen = ETCTraceGenerator(seed=5)
+        sizes = [r.value_bytes for r in gen.requests(5000)]
+        assert min(sizes) >= 8
+        assert max(sizes) <= 8192
+        small = sum(1 for s in sizes if s <= 1024)
+        assert small / len(sizes) > 0.9  # mostly small values
+
+    def test_writes_flagged(self):
+        request = ETCRequest("SET", key_rank=1, value_bytes=100)
+        assert request.is_write
+        assert not ETCRequest("GET", 1, 100).is_write
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            list(ETCTraceGenerator().requests(-1))
+
+    def test_bad_get_fraction_rejected(self):
+        with pytest.raises(WorkloadError):
+            ETCTraceGenerator(get_fraction=1.5)
+
+
+class TestCostModel:
+    def test_hot_keys_cheaper(self):
+        costs = ETCCostModel()
+        hot = ETCRequest("GET", key_rank=1, value_bytes=100)
+        cold = ETCRequest("GET", key_rank=5000, value_bytes=100)
+        assert costs.service_time(hot) < costs.service_time(cold)
+
+    def test_writes_cost_more(self):
+        costs = ETCCostModel()
+        get = ETCRequest("GET", 500, 100)
+        set_ = ETCRequest("SET", 500, 100)
+        assert costs.service_time(set_) > costs.service_time(get)
+
+    def test_bigger_values_cost_more(self):
+        costs = ETCCostModel()
+        small = ETCRequest("GET", 500, 64)
+        big = ETCRequest("GET", 500, 4096)
+        assert costs.service_time(big) > costs.service_time(small)
+
+    def test_size_cost_is_fixed_component(self):
+        costs = ETCCostModel()
+        r = ETCRequest("GET", 500, 4096)
+        assert costs.fixed_time(r) > costs.scalable_time(r)
+
+
+class TestServiceTimeModelAdapter:
+    def test_mean_in_memcached_band(self):
+        model = etc_service_time_model()
+        assert 4 * US <= model.mean <= 20 * US
+
+    def test_samples_positive_and_plausible(self):
+        model = etc_service_time_model(seed=8)
+        samples = [model.sample() for _ in range(2000)]
+        assert all(0 < s < 200 * US for s in samples)
+
+    def test_scalable_and_fixed_stay_in_lockstep(self):
+        # Drawing a full service time consumes exactly one trace record:
+        # means of the parts must match the aggregate.
+        model = etc_service_time_model(seed=9)
+        total = sum(model.sample() for _ in range(3000)) / 3000
+        assert total == pytest.approx(model.mean, rel=0.1)
+
+    def test_frequency_scaling_applies(self):
+        from repro.core.cstates import FrequencyPoint
+
+        model = etc_service_time_model(seed=10)
+        base_mean = model.mean_at(FrequencyPoint.P1)
+        turbo_mean = model.mean_at(FrequencyPoint.TURBO)
+        assert turbo_mean < base_mean
+
+
+class TestTraceWorkloadEndToEnd:
+    def test_runs_in_simulator(self):
+        from repro.server import named_configuration, simulate
+
+        result = simulate(
+            memcached_etc_workload(), named_configuration("baseline"),
+            qps=50_000, horizon=0.05, seed=11,
+        )
+        assert result.completed > 1000
+        assert 0 < result.avg_core_power < 5.5
+
+    def test_aw_still_saves_on_trace_driven_load(self):
+        from repro.server import named_configuration, simulate
+
+        base = simulate(memcached_etc_workload(), named_configuration("NT_Baseline"),
+                        qps=100_000, horizon=0.05, seed=12)
+        aw = simulate(memcached_etc_workload(), named_configuration("NT_AW"),
+                      qps=100_000, horizon=0.05, seed=12)
+        assert aw.avg_core_power < base.avg_core_power * 0.85
+
+    def test_comparable_to_aggregate_model(self):
+        # The trace-driven workload should land in the same utilisation
+        # band as the aggregate-distribution Memcached model.
+        from repro.server import named_configuration, simulate
+        from repro.workloads import memcached_workload
+
+        trace = simulate(memcached_etc_workload(), named_configuration("NT_Baseline"),
+                         qps=100_000, horizon=0.05, seed=13)
+        aggregate = simulate(memcached_workload(), named_configuration("NT_Baseline"),
+                             qps=100_000, horizon=0.05, seed=13)
+        assert trace.utilization == pytest.approx(aggregate.utilization, abs=0.08)

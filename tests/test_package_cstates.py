@@ -1,0 +1,90 @@
+"""Tests for the package C-state opportunity model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.uarch.package_cstates import (
+    PackageCState,
+    SimultaneousIdleModel,
+    package_state_opportunity,
+    skylake_package_cstates,
+)
+from repro.units import MS, US
+
+
+class TestPackageCStateDefinitions:
+    def test_two_states_defined(self):
+        states = skylake_package_cstates()
+        assert [s.name for s in states] == ["PC2", "PC6"]
+
+    def test_deeper_is_cheaper_but_slower(self):
+        pc2, pc6 = skylake_package_cstates()
+        assert pc6.power_watts < pc2.power_watts
+        assert pc6.target_residency > pc2.target_residency
+        assert pc6.exit_latency > pc2.exit_latency
+
+    def test_invalid_state_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PackageCState("PCX", power_watts=-1.0, target_residency=0, exit_latency=0)
+
+
+class TestSimultaneousIdleModel:
+    def test_all_idle_fraction_is_p_to_the_n(self):
+        model = SimultaneousIdleModel(
+            cores=10, per_core_idle_fraction=0.8, mean_idle_interval=1 * MS
+        )
+        assert model.all_idle_fraction == pytest.approx(0.8 ** 10)
+
+    def test_all_idle_interval_shrinks_with_cores(self):
+        few = SimultaneousIdleModel(2, 0.8, 1 * MS)
+        many = SimultaneousIdleModel(10, 0.8, 1 * MS)
+        assert many.mean_all_idle_interval < few.mean_all_idle_interval
+
+    def test_memcached_loads_cannot_use_package_states(self):
+        # Mid load: 80% idle per core, ~100 us intervals, 10 cores.
+        name, fraction = package_state_opportunity(
+            per_core_idle_fraction=0.8, mean_idle_interval=100 * US, cores=10
+        )
+        assert name == "PC0"
+        assert fraction == 0.0
+
+    def test_client_style_idle_can_use_package_states(self):
+        # Video-playback-like: 95% idle with ~100 ms quiet periods.
+        name, fraction = package_state_opportunity(
+            per_core_idle_fraction=0.95, mean_idle_interval=100 * MS, cores=4
+        )
+        assert name in ("PC2", "PC6")
+        assert fraction > 0.5
+
+    def test_usable_fraction_gated_by_target_residency(self):
+        model = SimultaneousIdleModel(10, 0.9, 500 * US)
+        pc2, pc6 = skylake_package_cstates()
+        # 500 us / 10 cores = 50 us < PC2's 200 us target.
+        assert model.usable_fraction(pc2) == 0.0
+        assert model.usable_fraction(pc6) == 0.0
+
+    def test_best_state_picks_deepest_usable(self):
+        model = SimultaneousIdleModel(2, 0.95, 100 * MS)
+        name, _ = model.best_state(skylake_package_cstates())
+        assert name == "PC6"
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimultaneousIdleModel(0, 0.5, 1 * MS)
+        with pytest.raises(ConfigurationError):
+            SimultaneousIdleModel(10, 1.5, 1 * MS)
+        with pytest.raises(ConfigurationError):
+            SimultaneousIdleModel(10, 0.5, 0.0)
+
+
+class TestPaperPositioning:
+    def test_core_level_agility_is_the_binding_lever(self):
+        # Across the whole Memcached sweep band, package states never
+        # become usable — every watt must come from core C-states.
+        for idle_frac, interval in [
+            (0.95, 1 * MS),   # 10K QPS
+            (0.85, 200 * US), # 100K
+            (0.5, 20 * US),   # 500K
+        ]:
+            name, _ = package_state_opportunity(idle_frac, interval)
+            assert name == "PC0"

@@ -1,0 +1,87 @@
+"""Tests for the AW ports to other core designs (Sec 5.5)."""
+
+import pytest
+
+from repro.core.ports import (
+    client_core_design,
+    compare_ports,
+    skylake_server_design,
+    zen3_like_design,
+)
+
+
+class TestSkylakePort:
+    def test_is_the_default_design(self):
+        design = skylake_server_design()
+        assert design.c6a_power == pytest.approx(0.3, rel=0.05)
+        assert all(design.verify().values())
+
+
+class TestZen3Port:
+    def test_nanosecond_class_transition(self):
+        # The technique ports: transitions stay in the nanosecond class.
+        design = zen3_like_design()
+        assert design.hardware_round_trip < 150e-9
+
+    def test_no_fivr_static_loss(self):
+        design = zen3_like_design()
+        static = [
+            e for e in design.breakdown.entries if "static" in e.subcomponent
+        ][0]
+        assert static.c6a_power == (0.0, 0.0)
+
+    def test_cheaper_idle_than_skylake(self):
+        # Dropping the 100 mW per-core FIVR static loss dominates.
+        assert zen3_like_design().c6a_power < skylake_server_design().c6a_power
+
+    def test_smaller_cache_cheaper_sleep(self):
+        zen = zen3_like_design()
+        sky = skylake_server_design()
+        assert (
+            zen.ccsm.data_array_sleep_power("P1")
+            < sky.ccsm.data_array_sleep_power("P1")
+        )
+
+    def test_catalog_usable_in_simulator(self):
+        from repro.server import simulate
+        from repro.server.config import ServerConfiguration
+        from repro.workloads import memcached_workload
+
+        design = zen3_like_design()
+        config = ServerConfiguration(
+            name="zen3_aw",
+            catalog=design.catalog(),
+            turbo_enabled=False,
+            frequency_derate=design.frequency_penalty,
+            is_agilewatts=True,
+        )
+        result = simulate(memcached_workload(), config, qps=50_000,
+                          horizon=0.05, seed=9)
+        assert result.completed > 0
+        assert result.residency_of("C6A") + result.residency_of("C6AE") > 0
+
+
+class TestClientPort:
+    def test_cheaper_than_skylake_port(self):
+        # Lower leakage + smaller caches; it still carries the per-core
+        # FIVR static loss, so the zen3 port (board VR) remains cheapest.
+        client = client_core_design().c6a_power
+        assert client < skylake_server_design().c6a_power
+
+    def test_nanosecond_class(self):
+        assert client_core_design().hardware_round_trip < 150e-9
+
+
+class TestComparePorts:
+    def test_all_three_reported(self):
+        table = compare_ports()
+        assert set(table) == {"skylake-server", "zen3-like", "client"}
+
+    def test_all_nanosecond_class(self):
+        # The generality claim: every port keeps ns-class transitions.
+        for name, figures in compare_ports().items():
+            assert figures["nanosecond_class"], name
+
+    def test_c6ae_below_c6a_everywhere(self):
+        for figures in compare_ports().values():
+            assert figures["c6ae_power_watts"] < figures["c6a_power_watts"]

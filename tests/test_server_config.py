@@ -1,0 +1,92 @@
+"""Tests for named server configurations."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.server import CONFIGURATION_NAMES, named_configuration
+
+
+class TestNamedConfigurations:
+    def test_all_names_build(self):
+        for name in CONFIGURATION_NAMES:
+            config = named_configuration(name)
+            assert config.name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            named_configuration("NT_No_C7")
+
+    def test_baseline_turbo_on_all_states(self):
+        config = named_configuration("baseline")
+        assert config.turbo_enabled
+        for name in ("C1", "C1E", "C6"):
+            assert config.catalog.is_enabled(name)
+
+    def test_nt_prefix_disables_turbo(self):
+        for name in CONFIGURATION_NAMES:
+            if name.startswith("NT_"):
+                assert not named_configuration(name).turbo_enabled, name
+            elif name.startswith("T_") or name in ("baseline", "AW", "AW_No_C6"):
+                assert named_configuration(name).turbo_enabled, name
+
+    def test_no_c6_disables_only_c6(self):
+        config = named_configuration("NT_No_C6")
+        assert not config.catalog.is_enabled("C6")
+        assert config.catalog.is_enabled("C1E")
+        assert config.catalog.is_enabled("C1")
+
+    def test_no_c6_no_c1e_leaves_only_c1(self):
+        config = named_configuration("NT_No_C6_No_C1E")
+        enabled = [s.name for s in config.catalog.enabled_idle_states]
+        assert enabled == ["C1"]
+
+    def test_baseline_no_c1e_for_fig12(self):
+        config = named_configuration("T_Baseline_No_C1E")
+        enabled = [s.name for s in config.catalog.enabled_idle_states]
+        assert enabled == ["C1", "C6"]
+
+    def test_aw_has_c6a_and_derate(self):
+        config = named_configuration("AW")
+        assert config.is_agilewatts
+        assert "C6A" in config.catalog
+        assert "C6AE" in config.catalog
+        assert "C6" in config.catalog
+        assert config.frequency_derate == pytest.approx(0.01)
+
+    def test_aw_no_c6_drops_c6(self):
+        config = named_configuration("AW_No_C6")
+        assert "C6" not in config.catalog
+
+    def test_c6a_only_config(self):
+        config = named_configuration("T_C6A_No_C6_No_C1E")
+        enabled = [s.name for s in config.catalog.enabled_idle_states]
+        assert enabled == ["C6A"]
+        assert config.turbo_enabled
+
+    def test_nt_c6a_only_config(self):
+        config = named_configuration("NT_C6A_No_C6_No_C1E")
+        enabled = [s.name for s in config.catalog.enabled_idle_states]
+        assert enabled == ["C6A"]
+        assert not config.turbo_enabled
+
+    def test_baseline_has_no_derate(self):
+        for name in ("baseline", "NT_Baseline", "NT_No_C6", "T_No_C6"):
+            assert named_configuration(name).frequency_derate == 0.0
+
+    def test_custom_design_powers_flow_through(self):
+        from repro.core import AgileWattsDesign
+        from repro.core.ccsm import CCSMConfig
+
+        # Smaller caches -> cheaper sleep mode -> lower C6A power.
+        design = AgileWattsDesign(ccsm_config=CCSMConfig(l2_capacity_bytes=512 * 1024))
+        config = named_configuration("AW", design=design)
+        default = named_configuration("AW")
+        assert (
+            config.catalog.get("C6A").power_watts
+            < default.catalog.get("C6A").power_watts
+        )
+
+    def test_configs_are_independent(self):
+        a = named_configuration("NT_No_C6")
+        b = named_configuration("NT_Baseline")
+        assert b.catalog.is_enabled("C6")  # a's disable must not leak into b
