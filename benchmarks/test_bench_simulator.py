@@ -39,6 +39,23 @@ def test_bench_server_node_100k_qps(benchmark):
     assert result.completed > 3_000
 
 
+def test_bench_streaming_arrival_heap(benchmark):
+    """Streaming arrivals keep the heap O(cores + in-flight), not O(qps*horizon)."""
+    from repro.server import ServerNode
+
+    def run_node():
+        node = ServerNode(
+            memcached_workload(), named_configuration("baseline"),
+            qps=200_000, horizon=0.05, seed=1,
+        )
+        node.run()
+        return node.sim.peak_pending_events
+
+    peak = benchmark.pedantic(run_node, rounds=2, iterations=1)
+    # 200 KQPS x 0.05 s = 10 000 arrivals; eager scheduling pinned them all.
+    assert peak < 1_000
+
+
 def test_bench_aw_design_build(benchmark):
     from repro.core import AgileWattsDesign
 

@@ -11,17 +11,17 @@ per-core power deltas at a typical 10% utilisation operating point.
 
 from repro.analytical.cost import CostModel
 from repro.experiments.common import format_table
-from repro.server import named_configuration, simulate
-from repro.workloads import memcached_workload
+from repro.sweep import ScenarioSpec, default_runner
 
 
 def main() -> None:
     # One representative operating point: ~10% utilisation (100 KQPS).
     qps = 100_000
-    base = simulate(memcached_workload(), named_configuration("baseline"),
-                    qps=qps, horizon=0.2, seed=42)
-    aw = simulate(memcached_workload(), named_configuration("AW"),
-                  qps=qps, horizon=0.2, seed=42)
+    base, aw = default_runner().run_many([
+        ScenarioSpec(workload="memcached", config=name, qps=qps,
+                     horizon=0.2, seed=42)
+        for name in ("baseline", "AW")
+    ])
     delta = base.avg_core_power - aw.avg_core_power
     print(f"Per-core power saving at {qps // 1000}K QPS: {delta * 1000:.0f} mW")
     print(f"({base.avg_core_power:.2f} W baseline -> {aw.avg_core_power:.2f} W AW)\n")

@@ -2,40 +2,62 @@
 
 Run with::
 
-    python examples/memcached_sweep.py [--quick]
+    python examples/memcached_sweep.py [--quick] [--jobs N]
 
 Reproduces the core of the paper's evaluation story on one plot-ready
 table: for each request rate, the baseline hierarchy, the vendor-tuned
 C1-only configuration, and AW — showing that AW is the only point that
 wins *both* axes (No_C1E-level latency at far lower power).
+
+The sweep is declared as a :class:`repro.sweep.ScenarioGrid` and executed
+through :class:`repro.sweep.SweepRunner`; pass ``--jobs 4`` to fan the
+points out over worker processes (results are identical either way).
 """
 
 import sys
 
 from repro.experiments.common import format_table
-from repro.server import named_configuration, simulate
+from repro.sweep import ScenarioGrid, SweepRunner
 from repro.units import seconds_to_us
-from repro.workloads import memcached_workload
 
 CONFIGS = ["NT_Baseline", "NT_No_C6_No_C1E", "NT_C6A_No_C6_No_C1E"]
 LABELS = {"NT_Baseline": "baseline", "NT_No_C6_No_C1E": "C1-only",
           "NT_C6A_No_C6_No_C1E": "AW (C6A)"}
 
 
+def _parse_jobs(argv) -> int:
+    if "--jobs" not in argv:
+        return 1
+    try:
+        return int(argv[argv.index("--jobs") + 1])
+    except (IndexError, ValueError):
+        raise SystemExit("usage: memcached_sweep.py [--quick] [--jobs N]")
+
+
 def main() -> None:
     quick = "--quick" in sys.argv
+    jobs = _parse_jobs(sys.argv)
     rates_kqps = [10, 100, 400] if quick else [10, 50, 100, 200, 300, 400, 500]
     horizon = 0.1 if quick else 0.3
 
+    grid = ScenarioGrid.product(
+        workloads=["memcached"],
+        configs=CONFIGS,
+        qps=[kqps * 1000 for kqps in rates_kqps],
+        horizons=[horizon],
+        seeds=[42],
+    )
+    runner = SweepRunner(
+        executor="process" if jobs > 1 else "serial", jobs=jobs
+    )
+    by_key = {
+        (spec.config, spec.qps): result
+        for spec, result in zip(grid, runner.run_grid(grid))
+    }
+
     rows = []
     for kqps in rates_kqps:
-        results = {
-            name: simulate(
-                memcached_workload(), named_configuration(name),
-                qps=kqps * 1000, horizon=horizon, seed=42,
-            )
-            for name in CONFIGS
-        }
+        results = {name: by_key[(name, kqps * 1000.0)] for name in CONFIGS}
         base = results["NT_Baseline"]
         aw = results["NT_C6A_No_C6_No_C1E"]
         savings = (base.avg_core_power - aw.avg_core_power) / base.avg_core_power

@@ -12,6 +12,8 @@ Public API layers:
   the simulated server testbed (governors, node, services).
 - :mod:`repro.analytical` — the paper's Eq. 1-4 models, validation,
   snoop bounds and datacenter cost model.
+- :mod:`repro.sweep` — declarative scenario specs and the (optionally
+  parallel) sweep runner every experiment executes through.
 - :mod:`repro.experiments` — regenerate every table and figure.
 
 Quickstart::
@@ -34,6 +36,7 @@ from repro.core.cstates import (
     skylake_baseline_catalog,
 )
 from repro.server import RunResult, named_configuration, simulate
+from repro.sweep import ScenarioGrid, ScenarioSpec, SweepRunner
 
 __version__ = "1.0.0"
 
@@ -46,5 +49,8 @@ __all__ = [
     "RunResult",
     "named_configuration",
     "simulate",
+    "ScenarioSpec",
+    "ScenarioGrid",
+    "SweepRunner",
     "__version__",
 ]

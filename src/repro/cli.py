@@ -6,7 +6,12 @@ Usage::
     python -m repro run table3           # one experiment to stdout
     python -m repro run fig8 fig10       # several
     python -m repro run --all            # everything
+    python -m repro run --all --jobs 4   # everything, 4 worker processes
     python -m repro run --all -o results # everything, one file per id
+    python -m repro sweep --config baseline AW --kqps 10 100 500 --jobs 4
+
+Exit codes: 0 on success, 1 on simulation/configuration errors, 2 on
+usage errors (unknown experiment, empty selection, bad sweep axis).
 """
 
 from __future__ import annotations
@@ -15,9 +20,31 @@ import argparse
 import contextlib
 import importlib
 import io
+import json
 import os
 import sys
-from typing import List
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.experiments.common import format_table
+from repro.sweep import (
+    ScenarioGrid,
+    configure_default_runner,
+    default_runner,
+    result_record,
+)
+from repro.sweep.spec import (
+    DEFAULT_CORES,
+    DEFAULT_HORIZON,
+    DEFAULT_SEED,
+    GOVERNOR_FACTORIES,
+)
+from repro.units import seconds_to_us
+
+#: Exit codes (sysexits-style: 2 matches argparse's own usage errors).
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_USAGE = 2
 
 #: Experiment ids in a sensible reading order.
 EXPERIMENT_IDS: List[str] = [
@@ -45,10 +72,18 @@ EXPERIMENT_IDS: List[str] = [
 
 def _load(experiment_id: str):
     if experiment_id not in EXPERIMENT_IDS:
-        raise SystemExit(
-            f"unknown experiment {experiment_id!r}; run `python -m repro list`"
+        print(
+            f"unknown experiment {experiment_id!r}; run `python -m repro list`",
+            file=sys.stderr,
         )
+        raise SystemExit(EXIT_USAGE)
     return importlib.import_module(f"repro.experiments.{experiment_id}")
+
+
+def _configure_jobs(jobs: Optional[int]) -> None:
+    """Point the process-wide runner at a parallel executor when asked."""
+    if jobs is not None and jobs > 1:
+        configure_default_runner(executor="process", jobs=jobs)
 
 
 def cmd_list() -> int:
@@ -58,15 +93,29 @@ def cmd_list() -> int:
         doc = (module.__doc__ or "").strip().splitlines()
         summary = doc[0] if doc else ""
         print(f"  {experiment_id:<18} {summary}")
-    return 0
+    return EXIT_OK
 
 
-def cmd_run(ids: List[str], run_all: bool, output_dir: str = None) -> int:
+def cmd_run(
+    ids: List[str],
+    run_all: bool,
+    output_dir: Optional[str] = None,
+    jobs: Optional[int] = None,
+) -> int:
     """Run experiments, printing to stdout or one file per id."""
     targets = EXPERIMENT_IDS if run_all else ids
     if not targets:
         print("nothing to run: name experiments or pass --all", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
+    unknown = [i for i in targets if i not in EXPERIMENT_IDS]
+    if unknown:
+        print(
+            f"unknown experiment(s) {', '.join(map(repr, unknown))}; "
+            "run `python -m repro list`",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    _configure_jobs(jobs)
     for experiment_id in targets:
         module = _load(experiment_id)
         if output_dir:
@@ -81,7 +130,84 @@ def cmd_run(ids: List[str], run_all: bool, output_dir: str = None) -> int:
         else:
             print(f"\n{'=' * 72}\n{experiment_id}\n{'=' * 72}")
             module.main()
-    return 0
+    return EXIT_OK
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a declarative scenario grid and emit per-point results."""
+    qps = list(args.qps or []) + [k * 1000.0 for k in args.kqps or []]
+    if not qps:
+        print("sweep needs at least one rate: pass --qps or --kqps", file=sys.stderr)
+        return EXIT_USAGE
+    turbo = None
+    if args.turbo:
+        turbo = True
+    elif args.no_turbo:
+        turbo = False
+    try:
+        grid = ScenarioGrid.product(
+            workloads=args.workload,
+            configs=args.config,
+            qps=qps,
+            cores=args.cores,
+            horizons=args.horizon,
+            seeds=args.seed,
+            governors=args.governor,
+            turbo=turbo,
+            snoops=not args.no_snoops,
+        )
+    except ReproError as exc:
+        print(f"invalid sweep: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    _configure_jobs(args.jobs)
+    runner = default_runner()
+    previous_progress = runner.progress
+    if args.progress:
+        runner.progress = lambda done, total, spec: print(
+            f"[{done}/{total}] {spec.workload}/{spec.config} @ {spec.qps:.0f} QPS",
+            file=sys.stderr,
+        )
+    try:
+        results = runner.run_grid(grid)
+    except ReproError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    finally:
+        # The default runner is process-wide; don't leak the hook into
+        # later programmatic uses.
+        runner.progress = previous_progress
+
+    records = [result_record(spec, result) for spec, result in zip(grid, results)]
+    if args.output:
+        with open(args.output, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+        print(f"wrote {len(records)} points to {args.output}")
+        return EXIT_OK
+
+    rows = [
+        [
+            record["workload"],
+            record["config"],
+            f"{record['qps'] / 1000:.0f}K",
+            record["seed"],
+            f"{record['avg_core_power']:.2f}W",
+            f"{record['package_power']:.1f}W",
+            f"{seconds_to_us(record['avg_latency']):.1f}us",
+            f"{seconds_to_us(record['p99_latency']):.1f}us",
+            record["completed"],
+        ]
+        for record in records
+    ]
+    print(
+        format_table(
+            ["workload", "config", "QPS", "seed", "core P", "pkg P",
+             "avg lat", "p99 lat", "completed"],
+            rows,
+        )
+    )
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -91,18 +217,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
+
     run = sub.add_parser("run", help="run experiments")
     run.add_argument("ids", nargs="*", help="experiment ids (see `list`)")
     run.add_argument("--all", action="store_true", help="run everything")
     run.add_argument("-o", "--output-dir", help="write one .txt per experiment")
+    run.add_argument(
+        "-j", "--jobs", type=int, metavar="N",
+        help="simulate sweep points over N worker processes",
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="run a scenario grid (workload x config x rate x seed)"
+    )
+    sweep.add_argument(
+        "--workload", nargs="+", default=["memcached"],
+        help="workload names (default: memcached)",
+    )
+    sweep.add_argument(
+        "--config", nargs="+", default=["baseline"],
+        help="named configurations (default: baseline)",
+    )
+    sweep.add_argument(
+        "--qps", nargs="+", type=float, help="request rates in queries/second"
+    )
+    sweep.add_argument(
+        "--kqps", nargs="+", type=float, help="request rates in thousands of QPS"
+    )
+    sweep.add_argument("--cores", nargs="+", type=int, default=[DEFAULT_CORES])
+    sweep.add_argument("--horizon", nargs="+", type=float, default=[DEFAULT_HORIZON])
+    sweep.add_argument("--seed", nargs="+", type=int, default=[DEFAULT_SEED])
+    sweep.add_argument(
+        "--governor", nargs="+", default=["menu"],
+        help=f"idle governors (choices: {sorted(GOVERNOR_FACTORIES)})",
+    )
+    turbo_group = sweep.add_mutually_exclusive_group()
+    turbo_group.add_argument(
+        "--turbo", action="store_true", help="force Turbo on for every config"
+    )
+    turbo_group.add_argument(
+        "--no-turbo", action="store_true", help="force Turbo off for every config"
+    )
+    sweep.add_argument(
+        "--no-snoops", action="store_true", help="disable background snoop traffic"
+    )
+    sweep.add_argument(
+        "-j", "--jobs", type=int, metavar="N",
+        help="simulate points over N worker processes",
+    )
+    sweep.add_argument(
+        "--progress", action="store_true", help="print per-point progress to stderr"
+    )
+    sweep.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="write one JSON record per point (JSONL) instead of a table",
+    )
     return parser
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return cmd_list()
-    return cmd_run(args.ids, args.all, args.output_dir)
+    if args.command == "sweep":
+        return cmd_sweep(args)
+    return cmd_run(args.ids, args.all, args.output_dir, args.jobs)
 
 
 if __name__ == "__main__":

@@ -1,44 +1,45 @@
-"""Shared experiment plumbing: cached simulation runs and formatting.
+"""Shared experiment plumbing: thin shims over :mod:`repro.sweep`.
 
 Experiments share simulated points (Fig 10 reuses Fig 9's baselines;
-Table 5 reuses Fig 8's sweep), so runs are memoised per process keyed by
-their full parameterisation.
+Table 5 reuses Fig 8's sweep), so every point routes through the
+process-wide :class:`~repro.sweep.SweepRunner`, which memoises on the
+spec's canonical cache key. Configuring that runner (e.g. via
+``python -m repro run --all --jobs 4``) parallelises every experiment
+without touching this module's callers.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
-from repro.server import RunResult, named_configuration, simulate
-from repro.workloads import (
-    kafka_workload,
-    memcached_workload,
-    mysql_workload,
+from repro.server import RunResult
+from repro.sweep import ScenarioSpec, default_runner
+from repro.sweep.runner import clear_shared_cache
+from repro.sweep.spec import (
+    DEFAULT_CORES,
+    DEFAULT_HORIZON,
+    DEFAULT_SEED,
+    WORKLOAD_FACTORIES,
 )
 from repro.workloads.base import Workload
 
-#: Default simulation horizon (seconds). Long enough for stable p99 at the
-#: lowest Memcached rate (10 KQPS x 0.4 s = 4 000 requests).
-DEFAULT_HORIZON = 0.4
-
-#: Default core count: one socket of the Xeon Silver 4114.
-DEFAULT_CORES = 10
-
-#: Default seed: every experiment is reproducible bit-for-bit.
-DEFAULT_SEED = 42
-
-_WORKLOAD_FACTORIES = {
-    "memcached": memcached_workload,
-    "kafka": kafka_workload,
-    "mysql": mysql_workload,
-}
-
-_run_cache: Dict[Tuple, RunResult] = {}
+__all__ = [
+    "DEFAULT_CORES",
+    "DEFAULT_HORIZON",
+    "DEFAULT_SEED",
+    "get_workload",
+    "run_point",
+    "run_sweep",
+    "prefetch_points",
+    "clear_cache",
+    "format_table",
+    "pct",
+]
 
 
 def get_workload(name: str) -> Workload:
     """Fresh workload instance by name (fresh RNG streams)."""
-    return _WORKLOAD_FACTORIES[name]()
+    return WORKLOAD_FACTORIES[name]()
 
 
 def run_point(
@@ -50,17 +51,11 @@ def run_point(
     seed: int = DEFAULT_SEED,
 ) -> RunResult:
     """Simulate one (workload, configuration, rate) point, memoised."""
-    key = (workload_name, config_name, qps, horizon, cores, seed)
-    if key not in _run_cache:
-        _run_cache[key] = simulate(
-            get_workload(workload_name),
-            named_configuration(config_name),
-            qps=qps,
-            cores=cores,
-            horizon=horizon,
-            seed=seed,
-        )
-    return _run_cache[key]
+    spec = ScenarioSpec(
+        workload=workload_name, config=config_name, qps=qps,
+        horizon=horizon, cores=cores, seed=seed,
+    )
+    return default_runner().run(spec)
 
 
 def run_sweep(
@@ -72,15 +67,41 @@ def run_sweep(
     seed: int = DEFAULT_SEED,
 ) -> List[RunResult]:
     """Simulate a rate sweep for one configuration."""
-    return [
-        run_point(workload_name, config_name, qps, horizon, cores, seed)
+    specs = [
+        ScenarioSpec(
+            workload=workload_name, config=config_name, qps=qps,
+            horizon=horizon, cores=cores, seed=seed,
+        )
         for qps in rates_qps
     ]
+    return default_runner().run_many(specs)
+
+
+def prefetch_points(
+    points: Iterable[Tuple[str, str, float]],
+    horizon: float = DEFAULT_HORIZON,
+    cores: int = DEFAULT_CORES,
+    seed: int = DEFAULT_SEED,
+) -> None:
+    """Warm the shared cache for (workload, config, qps) triples.
+
+    Experiments that loop over ``run_point`` call this up front with every
+    point they will need; when the default runner is parallel the whole
+    batch fans out at once, and the subsequent ``run_point`` calls are
+    pure cache hits. With the serial runner this is a no-op cost-wise.
+    """
+    specs = [
+        ScenarioSpec(
+            workload=w, config=c, qps=q, horizon=horizon, cores=cores, seed=seed,
+        )
+        for w, c, q in points
+    ]
+    default_runner().run_many(specs)
 
 
 def clear_cache() -> None:
     """Drop memoised runs (benchmarks measuring cold runs use this)."""
-    _run_cache.clear()
+    clear_shared_cache()
 
 
 # -- formatting helpers ------------------------------------------------------

@@ -22,6 +22,7 @@ from repro.experiments.common import (
     DEFAULT_SEED,
     format_table,
     pct,
+    prefetch_points,
     run_point,
 )
 from repro.experiments.fig9 import TUNED_CONFIGS
@@ -68,6 +69,14 @@ def run(
 ) -> List[Fig10Point]:
     """Regenerate the Fig 10 comparison series."""
     rates_kqps = rates_kqps if rates_kqps is not None else MEMCACHED_RATES_KQPS
+    prefetch_points(
+        [
+            ("memcached", config, kqps * 1000.0)
+            for config in [AW_CONFIG] + TUNED_CONFIGS
+            for kqps in rates_kqps
+        ],
+        horizon, cores, seed,
+    )
     points: List[Fig10Point] = []
     for kqps in rates_kqps:
         qps = kqps * 1000.0

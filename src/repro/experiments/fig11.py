@@ -27,6 +27,7 @@ from repro.experiments.common import (
     DEFAULT_HORIZON,
     DEFAULT_SEED,
     format_table,
+    prefetch_points,
     run_point,
 )
 from repro.server import RunResult
@@ -63,6 +64,10 @@ def run(
     """Regenerate the Fig 11 sweep."""
     rates_kqps = rates_kqps if rates_kqps is not None else MEMCACHED_RATES_KQPS
     configs = NO_TURBO_CONFIGS + TURBO_CONFIGS
+    prefetch_points(
+        [("memcached", name, kqps * 1000.0) for name in configs for kqps in rates_kqps],
+        horizon, cores, seed,
+    )
     results = {
         name: [
             run_point("memcached", name, kqps * 1000.0, horizon, cores, seed)

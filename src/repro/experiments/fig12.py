@@ -23,6 +23,7 @@ from repro.experiments.common import (
     DEFAULT_SEED,
     format_table,
     pct,
+    prefetch_points,
     run_point,
 )
 from repro.server import RunResult
@@ -81,6 +82,14 @@ def run(
 ) -> List[Fig12Point]:
     """Regenerate the Fig 12 operating points."""
     rates = rates if rates is not None else MYSQL_RATES
+    prefetch_points(
+        [
+            (workload_name, config, qps)
+            for config in (BASELINE, NO_C6, AW)
+            for qps in rates.values()
+        ],
+        horizon, cores, seed,
+    )
     points = []
     for label, qps in rates.items():
         points.append(

@@ -29,6 +29,7 @@ from repro.experiments.common import (
     format_table,
     get_workload,
     pct,
+    prefetch_points,
     run_point,
 )
 from repro.server import RunResult, named_configuration, simulate
@@ -78,6 +79,14 @@ def run(
 ) -> List[Fig8Point]:
     """Regenerate all Fig 8 panels."""
     rates_kqps = rates_kqps if rates_kqps is not None else MEMCACHED_RATES_KQPS
+    prefetch_points(
+        [
+            ("memcached", config, kqps * 1000.0)
+            for config in ("baseline", "AW")
+            for kqps in rates_kqps
+        ],
+        horizon, cores, seed,
+    )
     workload = get_workload("memcached")
     aw_config = named_configuration("AW")
     derate = aw_config.frequency_derate

@@ -20,6 +20,7 @@ from repro.experiments.common import (
     DEFAULT_SEED,
     format_table,
     pct,
+    prefetch_points,
     run_point,
 )
 from repro.server import RunResult
@@ -51,6 +52,10 @@ def run(
     """Regenerate the Fig 9 sweep."""
     rates_kqps = rates_kqps if rates_kqps is not None else MEMCACHED_RATES_KQPS
     configs = configs if configs is not None else TUNED_CONFIGS
+    prefetch_points(
+        [("memcached", name, kqps * 1000.0) for name in configs for kqps in rates_kqps],
+        horizon, cores, seed,
+    )
     results = {
         name: [
             run_point("memcached", name, kqps * 1000.0, horizon, cores, seed)

@@ -22,6 +22,7 @@ from repro.experiments.common import (
     DEFAULT_HORIZON,
     DEFAULT_SEED,
     format_table,
+    prefetch_points,
     run_sweep,
 )
 from repro.workloads.memcached import MEMCACHED_RATES_KQPS
@@ -42,6 +43,10 @@ def run(
     """Build and analyse both power-vs-load curves."""
     rates_kqps = rates_kqps if rates_kqps is not None else MEMCACHED_RATES_KQPS
     rates_qps = [k * 1000.0 for k in rates_kqps]
+    prefetch_points(
+        [("memcached", config, qps) for config in ("baseline", "AW") for qps in rates_qps],
+        horizon, cores, seed,
+    )
     base = run_sweep("memcached", "baseline", rates_qps, horizon, cores, seed)
     aw = run_sweep("memcached", "AW", rates_qps, horizon, cores, seed)
     return ProportionalityComparison(

@@ -16,6 +16,7 @@ from repro.experiments.common import (
     DEFAULT_HORIZON,
     DEFAULT_SEED,
     format_table,
+    prefetch_points,
     run_point,
 )
 from repro.workloads.memcached import MEMCACHED_RATES_KQPS
@@ -30,6 +31,14 @@ def run(
 ) -> Dict[str, float]:
     """$M saved per year per 100K servers, keyed by QPS label."""
     rates_kqps = rates_kqps if rates_kqps is not None else MEMCACHED_RATES_KQPS
+    prefetch_points(
+        [
+            ("memcached", config, kqps * 1000.0)
+            for config in ("baseline", "AW")
+            for kqps in rates_kqps
+        ],
+        horizon, cores, seed,
+    )
     deltas: Dict[str, float] = {}
     for kqps in rates_kqps:
         qps = kqps * 1000.0

@@ -25,7 +25,7 @@ import random
 from collections import deque
 from dataclasses import dataclass
 from enum import Enum
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, Iterator, List, Optional
 
 from repro.core.cstates import CState, FrequencyPoint
 from repro.errors import ConfigurationError, SimulationError
@@ -105,6 +105,7 @@ class ServerNode:
         self.sim = Simulator()
         self._dispatch_rng = random.Random(seed)
         self._loadgen: LoadGenerator = OpenLoopPoisson(qps, seed=seed + 1)
+        self._arrival_iter: Iterator[float] = iter(())
 
         catalog = configuration.catalog
         make_governor = governor_factory or (lambda: MenuGovernor())
@@ -129,9 +130,35 @@ class ServerNode:
 
     # -- wiring ------------------------------------------------------------
     def _schedule_arrivals(self) -> None:
-        for t in self._loadgen.arrivals(self.horizon):
-            # bind the arrival time via default arg to avoid late binding
-            self.sim.schedule_at(t, lambda t=t: self._on_arrival(t), label="arrival")
+        """Arm the arrival stream, one in-flight arrival event at a time.
+
+        Arrivals stream lazily: each arrival event schedules its successor
+        when it fires, so the heap holds O(cores + in-flight) events instead
+        of the O(qps * horizon) that eagerly pre-scheduling the whole
+        schedule would pin (40 000 events for a 100 KQPS x 0.4 s run).
+        """
+        self._arrival_iter = self._loadgen.arrivals(self.horizon)
+        self._schedule_next_arrival()
+
+    def _schedule_next_arrival(self) -> None:
+        for t in self._arrival_iter:
+            if t >= self.horizon:
+                # Generators bound arrivals to [0, horizon), but guard anyway
+                # so a custom LoadGenerator cannot fire past the accounting
+                # window (mirrors the snoop-side `when >= self.horizon`
+                # check); keep consuming in case later yields are in-window.
+                continue
+            self.sim.schedule_at(t, lambda t=t: self._arrival_fired(t), label="arrival")
+            return
+
+    def _arrival_fired(self, arrival: float) -> None:
+        # Chain the successor before dispatching so, on an exact time tie
+        # with the events this dispatch spawns, the next arrival still fires
+        # first. (Ties against events scheduled by *earlier* dispatches are
+        # resolved by scheduling order, as with any event source; the
+        # stochastic float-time workloads here never tie.)
+        self._schedule_next_arrival()
+        self._on_arrival(arrival)
 
     def _arm_snoops(self) -> None:
         if not self._snoops_enabled:

@@ -69,6 +69,7 @@ class Simulator:
         self._seq = 0
         self._running = False
         self._events_processed = 0
+        self._peak_pending = 0
 
     # -- clock ---------------------------------------------------------------
     @property
@@ -86,6 +87,16 @@ class Simulator:
         """Number of events still in the heap (including cancelled ones)."""
         return len(self._queue)
 
+    @property
+    def peak_pending_events(self) -> int:
+        """High-water mark of the event heap over the simulation's lifetime.
+
+        Memory pressure in long runs is governed by this, not by the
+        instantaneous :attr:`pending_events`; streaming event sources keep
+        it O(actors) instead of O(total events).
+        """
+        return self._peak_pending
+
     # -- scheduling ------------------------------------------------------------
     def schedule_at(self, time: float, callback: EventCallback, label: str = "") -> Event:
         """Schedule ``callback`` at absolute ``time``.
@@ -100,6 +111,8 @@ class Simulator:
         event = Event(time, self._seq, callback, label)
         self._seq += 1
         heapq.heappush(self._queue, event)
+        if len(self._queue) > self._peak_pending:
+            self._peak_pending = len(self._queue)
         return event
 
     def schedule(self, delay: float, callback: EventCallback, label: str = "") -> Event:

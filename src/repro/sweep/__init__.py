@@ -1,0 +1,53 @@
+"""Scenario and sweep subsystem: declarative simulation points, run fast.
+
+The paper's evaluation is a grid of (workload x configuration x rate)
+points. This package makes that grid a first-class object:
+
+- :mod:`repro.sweep.spec` — :class:`ScenarioSpec`, a frozen, serializable
+  description of one simulation point with a canonical cache key, and
+  :class:`ScenarioGrid`, cartesian-product sweep builders.
+- :mod:`repro.sweep.runner` — :class:`SweepRunner`, which executes specs
+  through pluggable executors (serial, or process-pool parallel) behind a
+  shared memo cache, with progress/log hooks.
+
+Every experiment module routes its simulation through this layer (via the
+thin shims in :mod:`repro.experiments.common`), so a single
+``SweepRunner`` configuration — e.g. ``python -m repro run --all --jobs 4``
+— parallelises the whole artifact regeneration.
+"""
+
+from repro.sweep.spec import (
+    GOVERNOR_FACTORIES,
+    WORKLOAD_FACTORIES,
+    ScenarioGrid,
+    ScenarioSpec,
+    register_governor,
+    register_workload,
+)
+from repro.sweep.runner import (
+    ProcessExecutor,
+    SerialExecutor,
+    SweepRunner,
+    clear_shared_cache,
+    configure_default_runner,
+    default_runner,
+    result_record,
+    shared_cache_size,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "ScenarioGrid",
+    "SweepRunner",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "default_runner",
+    "configure_default_runner",
+    "clear_shared_cache",
+    "shared_cache_size",
+    "result_record",
+    "register_workload",
+    "register_governor",
+    "WORKLOAD_FACTORIES",
+    "GOVERNOR_FACTORIES",
+]

@@ -1,0 +1,253 @@
+"""Sweep execution: memoised runs through pluggable executors.
+
+The runner separates *what* to simulate (:class:`ScenarioSpec`) from *how*
+to execute it:
+
+- :class:`SerialExecutor` runs points in order in the calling process;
+- :class:`ProcessExecutor` fans points out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Both feed one shared memo cache keyed on the spec's canonical cache key, so
+experiments that revisit points (Fig 10 reuses Fig 9's baselines; Table 5
+reuses Fig 8's sweep) simulate each point exactly once per process,
+regardless of which runner instance asked first.
+
+Simulations are deterministic functions of their spec, so serial and
+parallel execution produce identical results — the process pool only
+changes wall-clock time.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.server.metrics import RunResult
+from repro.sweep.spec import CacheKey, ScenarioGrid, ScenarioSpec
+
+#: ``progress(done, total, spec)`` — called after each point completes.
+ProgressHook = Callable[[int, int, ScenarioSpec], None]
+
+#: ``log(message)`` — called for coarse runner lifecycle messages.
+LogHook = Callable[[str], None]
+
+#: Process-wide memo cache shared by every runner (unless overridden).
+_SHARED_CACHE: Dict[CacheKey, RunResult] = {}
+
+
+def clear_shared_cache() -> None:
+    """Drop all memoised runs (benchmarks measuring cold runs use this)."""
+    _SHARED_CACHE.clear()
+
+
+def shared_cache_size() -> int:
+    return len(_SHARED_CACHE)
+
+
+def _execute_spec_dict(data: Dict[str, object]) -> RunResult:
+    """Worker-side entry point: rebuild the spec and run it.
+
+    Takes a plain dict (not a ScenarioSpec) so the pickled task payload
+    stays decoupled from the dataclass layout.
+    """
+    return ScenarioSpec.from_dict(data).execute()
+
+
+class SerialExecutor:
+    """Run points one at a time in the calling process."""
+
+    name = "serial"
+
+    def map_specs(
+        self,
+        specs: Sequence[ScenarioSpec],
+        on_result: Optional[Callable[[int, ScenarioSpec, RunResult], None]] = None,
+    ) -> List[RunResult]:
+        results: List[RunResult] = []
+        for i, spec in enumerate(specs):
+            result = spec.execute()
+            results.append(result)
+            if on_result is not None:
+                on_result(i, spec, result)
+        return results
+
+
+class ProcessExecutor:
+    """Fan points out over a process pool.
+
+    Results are identical to :class:`SerialExecutor` for the same specs:
+    each simulation is a deterministic function of its spec, and results
+    are returned positionally regardless of completion order.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: int = 4):
+        if jobs <= 0:
+            raise ConfigurationError(f"jobs must be positive, got {jobs}")
+        self.jobs = jobs
+
+    def map_specs(
+        self,
+        specs: Sequence[ScenarioSpec],
+        on_result: Optional[Callable[[int, ScenarioSpec, RunResult], None]] = None,
+    ) -> List[RunResult]:
+        if not specs:
+            return []
+        if len(specs) == 1:
+            # Pool spin-up costs more than one point; run it inline.
+            return SerialExecutor().map_specs(specs, on_result)
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        workers = min(self.jobs, len(specs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute_spec_dict, spec.to_dict()): i
+                for i, spec in enumerate(specs)
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    i = futures[future]
+                    result = future.result()  # re-raises worker exceptions
+                    results[i] = result
+                    if on_result is not None:
+                        on_result(i, specs[i], result)
+        return results  # type: ignore[return-value]
+
+
+ExecutorLike = Union[SerialExecutor, ProcessExecutor]
+
+_EXECUTORS: Dict[str, Callable[..., ExecutorLike]] = {
+    "serial": lambda jobs=None: SerialExecutor(),
+    "process": lambda jobs=None: ProcessExecutor(jobs or 4),
+}
+
+
+def _make_executor(executor: Union[str, ExecutorLike], jobs: Optional[int]) -> ExecutorLike:
+    if isinstance(executor, str):
+        if executor not in _EXECUTORS:
+            raise ConfigurationError(
+                f"unknown executor {executor!r}; choose from {sorted(_EXECUTORS)}"
+            )
+        return _EXECUTORS[executor](jobs=jobs)
+    return executor
+
+
+class SweepRunner:
+    """Execute scenario specs with memoisation, progress and log hooks.
+
+    Args:
+        executor: ``"serial"``, ``"process"``, or an executor instance.
+        jobs: worker count for the ``"process"`` executor.
+        cache: memo dict keyed on :attr:`ScenarioSpec.cache_key`; defaults
+            to the process-wide shared cache.
+        progress: optional ``(done, total, spec)`` hook per completed point.
+        log: optional sink for coarse lifecycle messages.
+    """
+
+    def __init__(
+        self,
+        executor: Union[str, ExecutorLike] = "serial",
+        jobs: Optional[int] = None,
+        cache: Optional[Dict[CacheKey, RunResult]] = None,
+        progress: Optional[ProgressHook] = None,
+        log: Optional[LogHook] = None,
+    ):
+        self.executor = _make_executor(executor, jobs)
+        self.cache = _SHARED_CACHE if cache is None else cache
+        self.progress = progress
+        self.log = log
+
+    # -- public API --------------------------------------------------------
+    def run(self, spec: ScenarioSpec) -> RunResult:
+        """One point, memoised."""
+        return self.run_many([spec])[0]
+
+    def run_many(self, specs: Sequence[ScenarioSpec]) -> List[RunResult]:
+        """All points, memoised, order-preserving.
+
+        Duplicate and already-cached specs are simulated at most once; the
+        executor only ever sees the deduplicated cache misses.
+        """
+        specs = list(specs)
+        misses: List[ScenarioSpec] = []
+        seen: Dict[CacheKey, None] = {}
+        for spec in specs:
+            key = spec.cache_key
+            if key not in self.cache and key not in seen:
+                seen[key] = None
+                misses.append(spec)
+
+        total = len(misses)
+        if self.log is not None and specs:
+            self.log(
+                f"sweep: {len(specs)} points ({total} to simulate, "
+                f"{len(specs) - total} cached) via {self.executor.name}"
+            )
+
+        if misses:
+            done_count = [0]
+
+            def on_result(i: int, spec: ScenarioSpec, result: RunResult) -> None:
+                self.cache[spec.cache_key] = result
+                done_count[0] += 1
+                if self.progress is not None:
+                    self.progress(done_count[0], total, spec)
+
+            self.executor.map_specs(misses, on_result)
+
+        return [self.cache[spec.cache_key] for spec in specs]
+
+    def run_grid(self, grid: ScenarioGrid) -> List[RunResult]:
+        return self.run_many(list(grid))
+
+    def clear_cache(self) -> None:
+        self.cache.clear()
+
+
+# -- default runner ----------------------------------------------------------
+# The experiment shims (repro.experiments.common) route every point through
+# this process-wide runner, so configuring it (e.g. from `--jobs N` on the
+# CLI) changes how the whole artifact pipeline executes.
+
+_default_runner = SweepRunner()
+
+
+def default_runner() -> SweepRunner:
+    """The process-wide runner used by the experiment shims."""
+    return _default_runner
+
+
+def configure_default_runner(
+    executor: Union[str, ExecutorLike] = "serial",
+    jobs: Optional[int] = None,
+    progress: Optional[ProgressHook] = None,
+    log: Optional[LogHook] = None,
+) -> SweepRunner:
+    """Replace the process-wide runner (keeps the shared cache)."""
+    global _default_runner
+    _default_runner = SweepRunner(
+        executor=executor, jobs=jobs, progress=progress, log=log
+    )
+    return _default_runner
+
+
+def result_record(spec: ScenarioSpec, result: RunResult) -> Dict[str, object]:
+    """Flat JSON-safe record of one point: spec fields + headline metrics."""
+    record = spec.to_dict()
+    record.update(
+        completed=result.completed,
+        achieved_qps=result.achieved_qps,
+        avg_core_power=result.avg_core_power,
+        package_power=result.package_power,
+        avg_latency=result.avg_latency,
+        p99_latency=result.tail_latency,
+        avg_latency_e2e=result.avg_latency_e2e,
+        p99_latency_e2e=result.tail_latency_e2e,
+        turbo_grant_rate=result.turbo_grant_rate,
+        snoops_served=result.snoops_served,
+        residency={k: v for k, v in sorted(result.residency.items())},
+    )
+    return record

@@ -1,0 +1,264 @@
+"""Scenario specifications: one frozen, serializable simulation point.
+
+A :class:`ScenarioSpec` captures *everything* that determines a run's
+outcome — workload, configuration, rate, core count, horizon, seed,
+governor, turbo override and snoop flag — so that two equal specs always
+denote the same result. That property backs the shared memo cache
+(:mod:`repro.sweep.runner`) and lets specs travel to worker processes as
+plain dicts.
+
+:class:`ScenarioGrid` builds sweeps declaratively::
+
+    grid = ScenarioGrid.product(
+        workloads=["memcached"],
+        configs=["baseline", "AW"],
+        qps=[10e3, 100e3, 500e3],
+    )
+    results = SweepRunner(executor="process", jobs=4).run_grid(grid)
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.governor.idle import FixedGovernor, MenuGovernor
+from repro.server.config import ServerConfiguration, named_configuration
+from repro.server.metrics import RunResult
+from repro.workloads import kafka_workload, memcached_workload, mysql_workload
+from repro.workloads.base import Workload
+
+#: Default simulation horizon (seconds). Long enough for stable p99 at the
+#: lowest Memcached rate (10 KQPS x 0.4 s = 4 000 requests).
+DEFAULT_HORIZON = 0.4
+
+#: Default core count: one socket of the Xeon Silver 4114.
+DEFAULT_CORES = 10
+
+#: Default seed: every experiment is reproducible bit-for-bit.
+DEFAULT_SEED = 42
+
+#: Workload factories by name. Factories return *fresh* instances so each
+#: run gets independent RNG streams. Extend via :func:`register_workload`.
+WORKLOAD_FACTORIES: Dict[str, Callable[[], Workload]] = {
+    "memcached": memcached_workload,
+    "kafka": kafka_workload,
+    "mysql": mysql_workload,
+}
+
+#: Governor factories by name. Extend via :func:`register_governor`.
+#: Note: worker processes only see factories registered at import time of
+#: this module (or of modules they import), not ad-hoc ``__main__`` ones.
+GOVERNOR_FACTORIES: Dict[str, Callable[[], object]] = {
+    "menu": MenuGovernor,
+    "c1_only": lambda: FixedGovernor("C1"),
+}
+
+
+def register_workload(name: str, factory: Callable[[], Workload]) -> None:
+    """Register a workload factory under ``name`` for use in specs."""
+    WORKLOAD_FACTORIES[name] = factory
+
+
+def register_governor(name: str, factory: Callable[[], object]) -> None:
+    """Register an idle-governor factory under ``name`` for use in specs."""
+    GOVERNOR_FACTORIES[name] = factory
+
+
+#: Canonical cache-key type: a flat tuple of hashable scalars.
+CacheKey = Tuple
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-parameterised simulation point.
+
+    Attributes:
+        workload: workload name (see :data:`WORKLOAD_FACTORIES`).
+        config: named server configuration (see
+            :func:`repro.server.config.named_configuration`).
+        qps: offered aggregate request rate (queries per second).
+        cores: core count.
+        horizon: simulated seconds.
+        seed: RNG seed; equal seeds give bit-identical results.
+        governor: idle-governor name (see :data:`GOVERNOR_FACTORIES`).
+        turbo: ``None`` keeps the configuration's turbo setting; True/False
+            overrides it.
+        snoops: whether background snoop traffic is simulated.
+    """
+
+    workload: str
+    config: str
+    qps: float
+    cores: int = DEFAULT_CORES
+    horizon: float = DEFAULT_HORIZON
+    seed: int = DEFAULT_SEED
+    governor: str = "menu"
+    turbo: Optional[bool] = None
+    snoops: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOAD_FACTORIES:
+            raise ConfigurationError(
+                f"unknown workload {self.workload!r}; "
+                f"choose from {sorted(WORKLOAD_FACTORIES)}"
+            )
+        if self.governor not in GOVERNOR_FACTORIES:
+            raise ConfigurationError(
+                f"unknown governor {self.governor!r}; "
+                f"choose from {sorted(GOVERNOR_FACTORIES)}"
+            )
+        if self.qps <= 0:
+            raise ConfigurationError(f"qps must be positive, got {self.qps}")
+        if self.cores <= 0:
+            raise ConfigurationError(f"cores must be positive, got {self.cores}")
+        if self.horizon <= 0:
+            raise ConfigurationError(f"horizon must be positive, got {self.horizon}")
+        # Canonicalise numeric types so 100000 and 100000.0 produce the
+        # same frozen spec (and therefore the same cache key).
+        object.__setattr__(self, "qps", float(self.qps))
+        object.__setattr__(self, "horizon", float(self.horizon))
+        object.__setattr__(self, "cores", int(self.cores))
+        object.__setattr__(self, "seed", int(self.seed))
+
+    # -- identity ----------------------------------------------------------
+    @property
+    def cache_key(self) -> CacheKey:
+        """Canonical, hashable identity: equal keys mean equal results."""
+        return (
+            self.workload, self.config, self.qps, self.cores, self.horizon,
+            self.seed, self.governor, self.turbo, self.snoops,
+        )
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-safe); inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Raises:
+            ConfigurationError: on missing or unknown keys.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown ScenarioSpec fields {sorted(unknown)}; known: {sorted(known)}"
+            )
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise ConfigurationError(f"incomplete ScenarioSpec dict: {exc}") from exc
+
+    def with_(self, **overrides) -> "ScenarioSpec":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+    # -- materialisation ---------------------------------------------------
+    def build_workload(self) -> Workload:
+        """Fresh workload instance (fresh RNG streams)."""
+        return WORKLOAD_FACTORIES[self.workload]()
+
+    def build_configuration(self) -> ServerConfiguration:
+        """The named configuration, with the turbo override applied."""
+        configuration = named_configuration(self.config)
+        if self.turbo is not None and self.turbo != configuration.turbo_enabled:
+            configuration = replace(configuration, turbo_enabled=self.turbo)
+        return configuration
+
+    def governor_factory(self) -> Callable[[], object]:
+        return GOVERNOR_FACTORIES[self.governor]
+
+    def execute(self) -> RunResult:
+        """Run this scenario to completion (uncached; see SweepRunner)."""
+        from repro.server.node import ServerNode
+
+        node = ServerNode(
+            workload=self.build_workload(),
+            configuration=self.build_configuration(),
+            qps=self.qps,
+            cores=self.cores,
+            horizon=self.horizon,
+            seed=self.seed,
+            snoops_enabled=self.snoops,
+            governor_factory=self.governor_factory(),
+        )
+        return node.run()
+
+
+class ScenarioGrid:
+    """An ordered collection of :class:`ScenarioSpec` points.
+
+    Deterministic order matters: runners return results positionally and
+    memo caches warm in a predictable sequence.
+    """
+
+    def __init__(self, specs: Sequence[ScenarioSpec]):
+        self._specs: Tuple[ScenarioSpec, ...] = tuple(specs)
+
+    # -- builders ----------------------------------------------------------
+    @classmethod
+    def product(
+        cls,
+        workloads: Sequence[str] = ("memcached",),
+        configs: Sequence[str] = ("baseline",),
+        qps: Sequence[float] = (),
+        cores: Sequence[int] = (DEFAULT_CORES,),
+        horizons: Sequence[float] = (DEFAULT_HORIZON,),
+        seeds: Sequence[int] = (DEFAULT_SEED,),
+        governors: Sequence[str] = ("menu",),
+        turbo: Optional[bool] = None,
+        snoops: bool = True,
+    ) -> "ScenarioGrid":
+        """Cartesian product over the given axes.
+
+        Iteration order is the nesting order of the arguments (workload
+        outermost, governor innermost), matching how the paper's figures
+        sweep rate within configuration within workload.
+
+        Raises:
+            ConfigurationError: if ``qps`` is empty.
+        """
+        if not qps:
+            raise ConfigurationError("ScenarioGrid.product needs at least one qps")
+        specs = [
+            ScenarioSpec(
+                workload=w, config=c, qps=q, cores=n, horizon=h, seed=s,
+                governor=g, turbo=turbo, snoops=snoops,
+            )
+            for w in workloads
+            for c in configs
+            for q in qps
+            for n in cores
+            for h in horizons
+            for s in seeds
+            for g in governors
+        ]
+        return cls(specs)
+
+    @classmethod
+    def from_dicts(cls, dicts: Sequence[Dict[str, object]]) -> "ScenarioGrid":
+        return cls([ScenarioSpec.from_dict(d) for d in dicts])
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [spec.to_dict() for spec in self._specs]
+
+    # -- collection protocol ----------------------------------------------
+    def __iter__(self) -> Iterator[ScenarioSpec]:
+        return iter(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __getitem__(self, index):
+        return self._specs[index]
+
+    def __add__(self, other: "ScenarioGrid") -> "ScenarioGrid":
+        return ScenarioGrid(self._specs + tuple(other))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ScenarioGrid({len(self._specs)} specs)"

@@ -21,7 +21,13 @@ class LoadGenerator:
     """Interface: an arrival-time iterator."""
 
     def arrivals(self, horizon: float) -> Iterator[float]:
-        """Yield absolute arrival times in [0, horizon)."""
+        """Yield absolute arrival times in [0, horizon), non-decreasing.
+
+        Consumers schedule arrivals one at a time (streaming), so times
+        must not go backwards; an out-of-order yield fails the run with a
+        :class:`~repro.errors.SimulationError`. Times at or past
+        ``horizon`` are ignored.
+        """
         raise NotImplementedError
 
     @property

@@ -1,10 +1,18 @@
 """Tests for the command-line interface."""
 
+import json
 import os
 
 import pytest
 
-from repro.cli import EXPERIMENT_IDS, build_parser, cmd_run, main
+from repro.cli import (
+    EXIT_OK,
+    EXIT_USAGE,
+    EXPERIMENT_IDS,
+    build_parser,
+    cmd_run,
+    main,
+)
 
 
 class TestParser:
@@ -29,6 +37,21 @@ class TestParser:
         args = build_parser().parse_args(["run", "table1", "-o", "out"])
         assert args.output_dir == "out"
 
+    def test_jobs_flag(self):
+        args = build_parser().parse_args(["run", "--all", "--jobs", "4"])
+        assert args.jobs == 4
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "--kqps", "10", "100"])
+        assert args.command == "sweep"
+        assert args.workload == ["memcached"]
+        assert args.config == ["baseline"]
+        assert args.kqps == [10.0, 100.0]
+
+    def test_sweep_turbo_flags_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--kqps", "10", "--turbo", "--no-turbo"])
+
 
 class TestCommands:
     def test_list_prints_all_ids(self, capsys):
@@ -49,11 +72,11 @@ class TestCommands:
         assert "Eq. 1" in out
 
     def test_run_nothing_errors(self, capsys):
-        assert main(["run"]) == 2
+        assert main(["run"]) == EXIT_USAGE
 
-    def test_unknown_id_exits(self):
-        with pytest.raises(SystemExit):
-            main(["run", "fig99"])
+    def test_unknown_id_is_usage_error(self, capsys):
+        assert main(["run", "fig99"]) == EXIT_USAGE
+        assert "fig99" in capsys.readouterr().err
 
     def test_output_dir_writes_files(self, tmp_path, capsys):
         out_dir = str(tmp_path / "results")
@@ -70,3 +93,58 @@ class TestCommands:
             module = importlib.import_module(f"repro.experiments.{experiment_id}")
             assert hasattr(module, "main")
             assert hasattr(module, "run")
+
+
+class TestSweepCommand:
+    def test_sweep_prints_table(self, capsys):
+        code = main([
+            "sweep", "--config", "baseline", "--kqps", "20",
+            "--horizon", "0.02", "--seed", "7",
+        ])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "memcached" in out
+        assert "baseline" in out
+        assert "20K" in out
+
+    def test_sweep_without_rates_is_usage_error(self, capsys):
+        assert main(["sweep", "--config", "baseline"]) == EXIT_USAGE
+        assert "qps" in capsys.readouterr().err
+
+    def test_sweep_unknown_workload_is_usage_error(self, capsys):
+        code = main(["sweep", "--workload", "postgres", "--kqps", "10"])
+        assert code == EXIT_USAGE
+        assert "invalid sweep" in capsys.readouterr().err
+
+    def test_sweep_writes_jsonl(self, tmp_path, capsys):
+        out_file = str(tmp_path / "points.jsonl")
+        code = main([
+            "sweep", "--config", "baseline", "AW", "--kqps", "20",
+            "--horizon", "0.02", "--seed", "7", "-o", out_file,
+        ])
+        assert code == EXIT_OK
+        with open(out_file) as handle:
+            records = [json.loads(line) for line in handle]
+        assert [r["config"] for r in records] == ["baseline", "AW"]
+        assert all(r["completed"] > 0 for r in records)
+
+    def test_sweep_parallel_matches_serial(self, capsys):
+        from repro.experiments.common import clear_cache
+        from repro.sweep import configure_default_runner
+
+        argv = [
+            "sweep", "--config", "baseline", "--kqps", "10", "20",
+            "--horizon", "0.02", "--seed", "7",
+        ]
+        try:
+            clear_cache()
+            assert main(argv) == EXIT_OK
+            serial_out = capsys.readouterr().out
+            clear_cache()
+            assert main(argv + ["--jobs", "2"]) == EXIT_OK
+            parallel_out = capsys.readouterr().out
+            assert serial_out == parallel_out
+        finally:
+            # `--jobs` reconfigures the process-wide runner; put the
+            # serial default back so later tests are unaffected.
+            configure_default_runner()

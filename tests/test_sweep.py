@@ -1,0 +1,236 @@
+"""Tests for the scenario/sweep subsystem (repro.sweep)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sweep import (
+    ProcessExecutor,
+    ScenarioGrid,
+    ScenarioSpec,
+    SweepRunner,
+    result_record,
+)
+
+
+def _spec(**overrides):
+    base = dict(
+        workload="memcached", config="baseline", qps=20_000,
+        horizon=0.02, seed=7,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestScenarioSpec:
+    def test_round_trip(self):
+        spec = _spec(governor="menu", turbo=False, snoops=False)
+        rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.cache_key == spec.cache_key
+
+    def test_cache_key_canonicalises_numeric_types(self):
+        a = _spec(qps=100_000, cores=10, horizon=1, seed=42)
+        b = _spec(qps=100_000.0, cores=10.0, horizon=1.0, seed=42.0)
+        assert a.cache_key == b.cache_key
+        assert a == b
+
+    def test_cache_key_distinguishes_every_axis(self):
+        base = _spec()
+        variants = [
+            _spec(workload="kafka"),
+            _spec(config="AW"),
+            _spec(qps=30_000),
+            _spec(cores=4),
+            _spec(horizon=0.05),
+            _spec(seed=8),
+            _spec(turbo=False),
+            _spec(snoops=False),
+        ]
+        keys = {v.cache_key for v in variants}
+        assert len(keys) == len(variants)
+        assert base.cache_key not in keys
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = _spec().to_dict()
+        data["typo"] = 1
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec.from_dict(data)
+
+    def test_from_dict_rejects_missing_fields(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec.from_dict({"workload": "memcached"})
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _spec(workload="postgres")
+
+    def test_unknown_governor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _spec(governor="psychic")
+
+    @pytest.mark.parametrize("field,value", [
+        ("qps", 0), ("qps", -1), ("cores", 0), ("horizon", 0.0),
+    ])
+    def test_invalid_numbers_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            _spec(**{field: value})
+
+    def test_turbo_override_applies(self):
+        on = _spec(config="NT_Baseline", turbo=True).build_configuration()
+        off = _spec(config="baseline", turbo=False).build_configuration()
+        default = _spec(config="baseline").build_configuration()
+        assert on.turbo_enabled
+        assert not off.turbo_enabled
+        assert default.turbo_enabled
+
+    def test_with_returns_modified_copy(self):
+        spec = _spec()
+        other = spec.with_(seed=99)
+        assert other.seed == 99
+        assert spec.seed == 7
+
+    def test_execute_matches_legacy_simulate(self):
+        from repro.server import named_configuration, simulate
+        from repro.workloads import memcached_workload
+
+        spec = _spec()
+        via_spec = spec.execute()
+        legacy = simulate(
+            memcached_workload(), named_configuration("baseline"),
+            qps=spec.qps, cores=spec.cores, horizon=spec.horizon, seed=spec.seed,
+        )
+        assert via_spec.avg_core_power == legacy.avg_core_power
+        assert via_spec.completed == legacy.completed
+        assert via_spec.residency == legacy.residency
+
+
+class TestScenarioGrid:
+    def test_product_order_and_length(self):
+        grid = ScenarioGrid.product(
+            workloads=["memcached", "kafka"],
+            configs=["baseline", "AW"],
+            qps=[1_000, 2_000],
+            seeds=[1],
+        )
+        assert len(grid) == 8
+        # workload outermost, qps innermost of the varied axes
+        assert [s.workload for s in grid][:4] == ["memcached"] * 4
+        assert [s.qps for s in grid][:4] == [1_000, 2_000, 1_000, 2_000]
+
+    def test_product_requires_qps(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioGrid.product(configs=["baseline"])
+
+    def test_dict_round_trip(self):
+        grid = ScenarioGrid.product(qps=[1_000, 2_000], seeds=[1, 2])
+        rebuilt = ScenarioGrid.from_dicts(grid.to_dicts())
+        assert list(rebuilt) == list(grid)
+
+    def test_concatenation(self):
+        a = ScenarioGrid.product(qps=[1_000])
+        b = ScenarioGrid.product(qps=[2_000])
+        assert [s.qps for s in a + b] == [1_000.0, 2_000.0]
+
+
+class TestSweepRunner:
+    def test_serial_vs_parallel_parity(self):
+        grid = ScenarioGrid.product(
+            configs=["baseline", "AW"], qps=[10_000, 40_000],
+            horizons=[0.02], seeds=[7],
+        )
+        serial = SweepRunner(cache={}).run_grid(grid)
+        parallel = SweepRunner(executor="process", jobs=2, cache={}).run_grid(grid)
+        for s, p in zip(serial, parallel):
+            assert s.avg_core_power == p.avg_core_power
+            assert s.completed == p.completed
+            assert s.residency == p.residency
+            assert s.server_latency.p99 == p.server_latency.p99
+
+    def test_memoisation_shares_points_across_calls(self):
+        simulated = []
+        runner = SweepRunner(cache={}, progress=lambda d, t, s: simulated.append(s))
+        spec = _spec()
+        first = runner.run(spec)
+        second = runner.run(spec)
+        assert first is second
+        assert len(simulated) == 1
+
+    def test_duplicates_simulated_once(self):
+        simulated = []
+        runner = SweepRunner(cache={}, progress=lambda d, t, s: simulated.append(s))
+        spec = _spec()
+        results = runner.run_many([spec, spec, spec])
+        assert len(results) == 3
+        assert len(simulated) == 1
+        assert results[0] is results[1] is results[2]
+
+    def test_progress_hook_counts(self):
+        events = []
+        runner = SweepRunner(cache={}, progress=lambda d, t, s: events.append((d, t)))
+        runner.run_many([_spec(seed=1), _spec(seed=2)])
+        assert events == [(1, 2), (2, 2)]
+
+    def test_log_hook_reports_cache_state(self):
+        messages = []
+        runner = SweepRunner(cache={}, log=messages.append)
+        runner.run(_spec())
+        runner.run(_spec())
+        assert "1 to simulate" in messages[0]
+        assert "0 to simulate" in messages[1]
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepRunner(executor="gpu")
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessExecutor(jobs=0)
+
+    def test_empty_sweep(self):
+        assert SweepRunner(cache={}).run_many([]) == []
+
+    def test_worker_errors_propagate(self):
+        # Corrupt a spec dict so the worker-side rebuild fails.
+        import repro.sweep.runner as runner_mod
+
+        with pytest.raises(ConfigurationError):
+            runner_mod._execute_spec_dict({"workload": "memcached"})
+
+    def test_result_record_is_json_safe(self):
+        import json
+
+        spec = _spec()
+        record = result_record(spec, SweepRunner().run(spec))
+        text = json.dumps(record)
+        assert "avg_core_power" in text
+        assert record["workload"] == "memcached"
+        assert record["completed"] > 0
+
+
+class TestCommonShims:
+    def test_run_point_equals_spec_execution(self):
+        from repro.experiments.common import clear_cache, run_point
+
+        clear_cache()
+        via_shim = run_point("memcached", "baseline", 20_000, horizon=0.02, seed=7)
+        direct = _spec().execute()
+        assert via_shim.avg_core_power == direct.avg_core_power
+        assert via_shim.completed == direct.completed
+
+    def test_run_sweep_order(self):
+        from repro.experiments.common import run_sweep
+
+        results = run_sweep(
+            "memcached", "baseline", [10_000, 20_000], horizon=0.02, seed=7
+        )
+        assert [r.qps for r in results] == [10_000, 20_000]
+
+    def test_prefetch_warms_the_default_cache(self):
+        from repro.experiments.common import clear_cache, prefetch_points, run_point
+        from repro.sweep import shared_cache_size
+
+        clear_cache()
+        prefetch_points([("memcached", "baseline", 20_000)], horizon=0.02, seed=7)
+        warmed = shared_cache_size()
+        run_point("memcached", "baseline", 20_000, horizon=0.02, seed=7)
+        assert shared_cache_size() == warmed
