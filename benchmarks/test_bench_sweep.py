@@ -49,6 +49,22 @@ def test_bench_sweep_cache_hits(benchmark):
     assert len(results) == len(GRID)
 
 
+def test_bench_sweep_store_hits(benchmark, tmp_path):
+    """Cost of serving a whole grid from the persistent store (sqlite
+    read + exact result deserialization), with a cold memo each round."""
+    from repro.store import ResultStore
+
+    store = ResultStore(tmp_path, salt="bench")
+    SweepRunner(cache={}, store=store).run_grid(GRID)  # fill the store
+
+    def run_from_store():
+        return SweepRunner(cache={}, store=store).run_grid(GRID)
+
+    results = benchmark(run_from_store)
+    assert len(results) == len(GRID)
+    assert all(r.completed > 0 for r in results)
+
+
 def test_parallel_results_match_serial():
     serial = SweepRunner(cache={}).run_grid(GRID)
     parallel = SweepRunner(executor="process", jobs=4, cache={}).run_grid(GRID)

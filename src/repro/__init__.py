@@ -14,6 +14,8 @@ Public API layers:
   snoop bounds and datacenter cost model.
 - :mod:`repro.sweep` — declarative scenario specs and the (optionally
   parallel) sweep runner every experiment executes through.
+- :mod:`repro.store` — persistent on-disk result store that lets
+  repeated invocations reuse simulated points across processes.
 - :mod:`repro.experiments` — regenerate every table and figure.
 
 Quickstart::
@@ -36,7 +38,8 @@ from repro.core.cstates import (
     skylake_baseline_catalog,
 )
 from repro.server import RunResult, named_configuration, simulate
-from repro.sweep import ScenarioGrid, ScenarioSpec, SweepRunner
+from repro.store import ResultStore
+from repro.sweep import FailurePolicy, ScenarioGrid, ScenarioSpec, SweepRunner
 
 __version__ = "1.0.0"
 
@@ -52,5 +55,7 @@ __all__ = [
     "ScenarioSpec",
     "ScenarioGrid",
     "SweepRunner",
+    "FailurePolicy",
+    "ResultStore",
     "__version__",
 ]

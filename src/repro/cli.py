@@ -9,9 +9,16 @@ Usage::
     python -m repro run --all --jobs 4   # everything, 4 worker processes
     python -m repro run --all -o results # everything, one file per id
     python -m repro sweep --config baseline AW --kqps 10 100 500 --jobs 4
+    python -m repro sweep --grid grid.jsonl --on-error skip -o out.jsonl
 
-Exit codes: 0 on success, 1 on simulation/configuration errors, 2 on
-usage errors (unknown experiment, empty selection, bad sweep axis).
+Simulated points persist in an on-disk result store (``--cache-dir``,
+``$REPRO_CACHE_DIR``, default ``~/.cache/repro``), so repeated
+invocations only simulate what the store has not seen for the current
+code version. ``--no-cache`` disables it.
+
+Exit codes: 0 on success, 1 on simulation/configuration errors (including
+sweeps that completed with skipped/recorded point failures), 2 on usage
+errors (unknown experiment, empty selection, bad sweep axis or grid file).
 """
 
 from __future__ import annotations
@@ -23,15 +30,21 @@ import io
 import json
 import os
 import sys
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from repro.errors import ReproError
 from repro.experiments.common import format_table
+from repro.store import ResultStore
 from repro.sweep import (
+    FailurePolicy,
+    ProgressRenderer,
     ScenarioGrid,
+    SweepRunner,
     configure_default_runner,
     default_runner,
+    failure_record,
     result_record,
+    set_default_runner,
 )
 from repro.sweep.spec import (
     DEFAULT_CORES,
@@ -80,10 +93,50 @@ def _load(experiment_id: str):
     return importlib.import_module(f"repro.experiments.{experiment_id}")
 
 
-def _configure_jobs(jobs: Optional[int]) -> None:
-    """Point the process-wide runner at a parallel executor when asked."""
-    if jobs is not None and jobs > 1:
-        configure_default_runner(executor="process", jobs=jobs)
+def _make_store(no_cache: bool, cache_dir: Optional[str]) -> Optional[ResultStore]:
+    """Open the persistent result store unless disabled; never fatal."""
+    import sqlite3
+
+    if no_cache:
+        return None
+    try:
+        return ResultStore(cache_dir)
+    except (OSError, sqlite3.Error) as exc:
+        # Unwritable directory, corrupt database, incompatible sqlite:
+        # run uncached rather than refusing to run at all.
+        print(f"warning: result store disabled ({exc})", file=sys.stderr)
+        return None
+
+
+@contextlib.contextmanager
+def _configured_runner(
+    jobs: Optional[int] = None,
+    no_cache: bool = False,
+    cache_dir: Optional[str] = None,
+    policy: Optional[FailurePolicy] = None,
+    progress: Optional[ProgressRenderer] = None,
+) -> Iterator[SweepRunner]:
+    """Point the process-wide runner at this command's configuration.
+
+    The previous runner is restored on exit, so CLI flags (store location,
+    failure policy, progress hooks) never leak into later programmatic use
+    of :func:`repro.sweep.default_runner` in the same process.
+    """
+    previous = default_runner()
+    executor = "process" if jobs is not None and jobs > 1 else "serial"
+    runner = configure_default_runner(
+        executor=executor,
+        jobs=jobs,
+        progress=progress,
+        store=_make_store(no_cache, cache_dir),
+        policy=policy,
+    )
+    try:
+        yield runner
+    finally:
+        if progress is not None:
+            progress.close()
+        set_default_runner(previous)
 
 
 def cmd_list() -> int:
@@ -101,6 +154,8 @@ def cmd_run(
     run_all: bool,
     output_dir: Optional[str] = None,
     jobs: Optional[int] = None,
+    no_cache: bool = False,
+    cache_dir: Optional[str] = None,
 ) -> int:
     """Run experiments, printing to stdout or one file per id."""
     targets = EXPERIMENT_IDS if run_all else ids
@@ -115,91 +170,191 @@ def cmd_run(
             file=sys.stderr,
         )
         return EXIT_USAGE
-    _configure_jobs(jobs)
-    for experiment_id in targets:
-        module = _load(experiment_id)
-        if output_dir:
-            os.makedirs(output_dir, exist_ok=True)
-            path = os.path.join(output_dir, f"{experiment_id}.txt")
-            buffer = io.StringIO()
-            with contextlib.redirect_stdout(buffer):
+    progress = None
+    if jobs is not None and jobs > 1:
+        progress = ProgressRenderer(label="run")
+    with _configured_runner(jobs, no_cache, cache_dir, progress=progress):
+        for experiment_id in targets:
+            module = _load(experiment_id)
+            if output_dir:
+                os.makedirs(output_dir, exist_ok=True)
+                path = os.path.join(output_dir, f"{experiment_id}.txt")
+                buffer = io.StringIO()
+                with contextlib.redirect_stdout(buffer):
+                    module.main()
+                with open(path, "w") as handle:
+                    handle.write(buffer.getvalue())
+                print(f"wrote {path}")
+            else:
+                print(f"\n{'=' * 72}\n{experiment_id}\n{'=' * 72}")
                 module.main()
-            with open(path, "w") as handle:
-                handle.write(buffer.getvalue())
-            print(f"wrote {path}")
-        else:
-            print(f"\n{'=' * 72}\n{experiment_id}\n{'=' * 72}")
-            module.main()
     return EXIT_OK
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
-    """Run a declarative scenario grid and emit per-point results."""
+def _load_grid_file(path: str) -> ScenarioGrid:
+    """Parse a grid file: a JSON array of spec dicts, or JSONL (one per line).
+
+    Raises:
+        ReproError: on unreadable/empty/malformed files or invalid specs.
+    """
+    from repro.errors import ConfigurationError
+
+    try:
+        with open(path) as handle:
+            text = handle.read().strip()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read grid file {path}: {exc}") from exc
+    if not text:
+        raise ConfigurationError(f"grid file {path} is empty")
+    try:
+        if text.startswith("["):
+            dicts = json.loads(text)
+        else:
+            dicts = [json.loads(line) for line in text.splitlines() if line.strip()]
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"grid file {path} is not valid JSON/JSONL: {exc}") from exc
+    if not isinstance(dicts, list) or not all(isinstance(d, dict) for d in dicts):
+        raise ConfigurationError(
+            f"grid file {path} must hold a list of ScenarioSpec dicts"
+        )
+    if not dicts:
+        raise ConfigurationError(f"grid file {path} holds no points")
+    return ScenarioGrid.from_dicts(dicts)
+
+
+def _build_sweep_grid(args: argparse.Namespace) -> ScenarioGrid:
+    """The swept grid: from ``--grid FILE`` or the axis flags.
+
+    Raises:
+        ReproError: on invalid axes, grid files, or conflicting inputs.
+    """
+    from repro.errors import ConfigurationError
+
     qps = list(args.qps or []) + [k * 1000.0 for k in args.kqps or []]
+    if args.grid:
+        # A grid file defines every axis itself; silently ignoring axis
+        # flags would let `--grid f --governor oracle` lie to the user.
+        axis_flags = [
+            ("--qps/--kqps", bool(qps)),
+            ("--workload", args.workload != ["memcached"]),
+            ("--config", args.config != ["baseline"]),
+            ("--cores", args.cores != [DEFAULT_CORES]),
+            ("--horizon", args.horizon != [DEFAULT_HORIZON]),
+            ("--seed", args.seed != [DEFAULT_SEED]),
+            ("--governor", args.governor != ["menu"]),
+            ("--turbo/--no-turbo", args.turbo or args.no_turbo),
+            ("--no-snoops", args.no_snoops),
+        ]
+        conflicting = [name for name, given in axis_flags if given]
+        if conflicting:
+            raise ConfigurationError(
+                f"pass either --grid or axis flags, not both "
+                f"(got {', '.join(conflicting)})"
+            )
+        return _load_grid_file(args.grid)
     if not qps:
-        print("sweep needs at least one rate: pass --qps or --kqps", file=sys.stderr)
-        return EXIT_USAGE
+        raise ConfigurationError("sweep needs at least one rate: pass --qps or --kqps")
     turbo = None
     if args.turbo:
         turbo = True
     elif args.no_turbo:
         turbo = False
+    return ScenarioGrid.product(
+        workloads=args.workload,
+        configs=args.config,
+        qps=qps,
+        cores=args.cores,
+        horizons=args.horizon,
+        seeds=args.seed,
+        governors=args.governor,
+        turbo=turbo,
+        snoops=not args.no_snoops,
+    )
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a declarative scenario grid and emit per-point results."""
     try:
-        grid = ScenarioGrid.product(
-            workloads=args.workload,
-            configs=args.config,
-            qps=qps,
-            cores=args.cores,
-            horizons=args.horizon,
-            seeds=args.seed,
-            governors=args.governor,
-            turbo=turbo,
-            snoops=not args.no_snoops,
+        from repro.errors import ConfigurationError
+
+        if args.timeout is not None and (args.jobs is None or args.jobs <= 1):
+            # Accepting the flag but never enforcing it would be worse
+            # than rejecting it: serial execution cannot interrupt a
+            # running point.
+            raise ConfigurationError("--timeout requires --jobs N (N > 1)")
+        grid = _build_sweep_grid(args)
+        policy = FailurePolicy(
+            mode=args.on_error, timeout=args.timeout, retries=args.retries
         )
     except ReproError as exc:
         print(f"invalid sweep: {exc}", file=sys.stderr)
         return EXIT_USAGE
 
-    _configure_jobs(args.jobs)
-    runner = default_runner()
-    previous_progress = runner.progress
-    if args.progress:
-        runner.progress = lambda done, total, spec: print(
-            f"[{done}/{total}] {spec.workload}/{spec.config} @ {spec.qps:.0f} QPS",
+    progress = ProgressRenderer(label="sweep") if args.progress else None
+    with _configured_runner(
+        args.jobs, args.no_cache, args.cache_dir, policy=policy, progress=progress
+    ) as runner:
+        try:
+            results = runner.run_grid(grid)
+        except ReproError as exc:
+            print(f"sweep failed: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        failures = dict(runner.last_failures)
+
+    # skip: failed points are omitted from the table/JSONL (clean output);
+    # record: they appear inline as error records. Either way every
+    # failure is reported on stderr, so it is never silent.
+    records = []
+    n_failed = 0
+    for spec, result in zip(grid, results):
+        failure = failures.get(spec.cache_key)
+        if result is None or failure is not None:
+            n_failed += 1
+            print(
+                f"sweep: point failed: {spec.workload}/{spec.config} "
+                f"@ {spec.qps:.0f} QPS seed {spec.seed}: "
+                f"{failure.error if failure else 'unknown error'}",
+                file=sys.stderr,
+            )
+            if policy.mode == "record":
+                records.append(failure_record(spec, failure))
+        else:
+            records.append(result_record(spec, result))
+    if n_failed:
+        print(
+            f"sweep: {n_failed} of {len(grid)} point(s) failed "
+            f"(policy: {policy.mode})",
             file=sys.stderr,
         )
-    try:
-        results = runner.run_grid(grid)
-    except ReproError as exc:
-        print(f"sweep failed: {exc}", file=sys.stderr)
-        return EXIT_ERROR
-    finally:
-        # The default runner is process-wide; don't leak the hook into
-        # later programmatic uses.
-        runner.progress = previous_progress
 
-    records = [result_record(spec, result) for spec, result in zip(grid, results)]
     if args.output:
         with open(args.output, "w") as handle:
             for record in records:
                 handle.write(json.dumps(record) + "\n")
         print(f"wrote {len(records)} points to {args.output}")
-        return EXIT_OK
+        return EXIT_ERROR if n_failed else EXIT_OK
 
-    rows = [
-        [
+    rows = []
+    for record in records:
+        prefix = [
             record["workload"],
             record["config"],
             f"{record['qps'] / 1000:.0f}K",
             record["seed"],
-            f"{record['avg_core_power']:.2f}W",
-            f"{record['package_power']:.1f}W",
-            f"{seconds_to_us(record['avg_latency']):.1f}us",
-            f"{seconds_to_us(record['p99_latency']):.1f}us",
-            record["completed"],
         ]
-        for record in records
-    ]
+        if "error" in record:
+            rows.append(prefix + ["-", "-", "-", "-", f"FAILED: {record['error']}"])
+        else:
+            rows.append(
+                prefix
+                + [
+                    f"{record['avg_core_power']:.2f}W",
+                    f"{record['package_power']:.1f}W",
+                    f"{seconds_to_us(record['avg_latency']):.1f}us",
+                    f"{seconds_to_us(record['p99_latency']):.1f}us",
+                    record["completed"],
+                ]
+            )
     print(
         format_table(
             ["workload", "config", "QPS", "seed", "core P", "pkg P",
@@ -207,7 +362,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             rows,
         )
     )
-    return EXIT_OK
+    return EXIT_ERROR if n_failed else EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -218,17 +373,33 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
 
+    def add_cache_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--no-cache", action="store_true",
+            help="do not read or write the persistent result store",
+        )
+        command.add_argument(
+            "--cache-dir", metavar="DIR",
+            help="result store location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+        )
+
     run = sub.add_parser("run", help="run experiments")
     run.add_argument("ids", nargs="*", help="experiment ids (see `list`)")
     run.add_argument("--all", action="store_true", help="run everything")
     run.add_argument("-o", "--output-dir", help="write one .txt per experiment")
     run.add_argument(
         "-j", "--jobs", type=int, metavar="N",
-        help="simulate sweep points over N worker processes",
+        help="simulate sweep points over N worker processes (with progress meter)",
     )
+    add_cache_flags(run)
 
     sweep = sub.add_parser(
-        "sweep", help="run a scenario grid (workload x config x rate x seed)"
+        "sweep", help="run a scenario grid (workload x config x rate x governor)"
+    )
+    sweep.add_argument(
+        "--grid", metavar="FILE",
+        help="read the grid from a JSON/JSONL file of ScenarioSpec dicts "
+             "(instead of the axis flags)",
     )
     sweep.add_argument(
         "--workload", nargs="+", default=["memcached"],
@@ -266,12 +437,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulate points over N worker processes",
     )
     sweep.add_argument(
-        "--progress", action="store_true", help="print per-point progress to stderr"
+        "--on-error", choices=["raise", "skip", "record"], default="raise",
+        help="per-point failure mode: abort the sweep (raise), omit the "
+             "point from the output (skip), or keep an inline error record "
+             "in the output (record); skipped/recorded failures are always "
+             "reported on stderr",
+    )
+    sweep.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="per-point wall-clock budget (requires --jobs: only the "
+             "parallel executor can interrupt a point)",
+    )
+    sweep.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="resubmit a failed point up to N times before applying --on-error",
+    )
+    sweep.add_argument(
+        "--progress", action="store_true", help="render per-point progress on stderr"
     )
     sweep.add_argument(
         "-o", "--output", metavar="FILE",
         help="write one JSON record per point (JSONL) instead of a table",
     )
+    add_cache_flags(sweep)
     return parser
 
 
@@ -281,7 +469,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_list()
     if args.command == "sweep":
         return cmd_sweep(args)
-    return cmd_run(args.ids, args.all, args.output_dir, args.jobs)
+    return cmd_run(
+        args.ids, args.all, args.output_dir, args.jobs,
+        no_cache=args.no_cache, cache_dir=args.cache_dir,
+    )
 
 
 if __name__ == "__main__":

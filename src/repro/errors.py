@@ -16,6 +16,10 @@ class SimulationError(ReproError):
     """An invariant of the discrete-event simulation was violated."""
 
 
+class PointTimeoutError(SimulationError):
+    """A sweep point exceeded its :class:`FailurePolicy` time budget."""
+
+
 class ConfigurationError(ReproError):
     """A model or experiment was configured with inconsistent parameters."""
 

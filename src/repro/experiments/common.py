@@ -49,11 +49,12 @@ def run_point(
     horizon: float = DEFAULT_HORIZON,
     cores: int = DEFAULT_CORES,
     seed: int = DEFAULT_SEED,
+    governor: str = "menu",
 ) -> RunResult:
     """Simulate one (workload, configuration, rate) point, memoised."""
     spec = ScenarioSpec(
         workload=workload_name, config=config_name, qps=qps,
-        horizon=horizon, cores=cores, seed=seed,
+        horizon=horizon, cores=cores, seed=seed, governor=governor,
     )
     return default_runner().run(spec)
 
@@ -65,12 +66,13 @@ def run_sweep(
     horizon: float = DEFAULT_HORIZON,
     cores: int = DEFAULT_CORES,
     seed: int = DEFAULT_SEED,
+    governor: str = "menu",
 ) -> List[RunResult]:
     """Simulate a rate sweep for one configuration."""
     specs = [
         ScenarioSpec(
             workload=workload_name, config=config_name, qps=qps,
-            horizon=horizon, cores=cores, seed=seed,
+            horizon=horizon, cores=cores, seed=seed, governor=governor,
         )
         for qps in rates_qps
     ]

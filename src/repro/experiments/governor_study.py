@@ -2,13 +2,18 @@
 
 The paper's motivation (Sec 2) is that governors cannot predict the
 irregular idle intervals of latency-critical services, so deep states go
-unused. This experiment quantifies that on the simulator by swapping the
-per-core governor:
+unused. This experiment quantifies that on the simulator by sweeping the
+governor axis of :class:`~repro.sweep.ScenarioSpec`:
 
 - ``menu``: the default EWMA predictor (what Linux approximates);
 - ``oracle``: told each idle interval's true length — the best any
-  predictor could do with the *existing* C-state hierarchy;
+  predictor could do with the *existing* C-state hierarchy (the
+  :class:`~repro.governor.idle.ReplayOracleGovernor` adapter, registered
+  in :data:`repro.sweep.spec.GOVERNOR_FACTORIES`);
 - ``c1_only``: never predicts, always picks the shallowest state.
+
+All points route through the process-wide sweep runner, so the study is
+memoised, store-backed and parallelisable like every other experiment.
 
 The punchline matches the paper: even a perfect oracle on the legacy
 hierarchy cannot reach AW with the plain menu governor, because the
@@ -18,11 +23,18 @@ hierarchy itself (C6's 600 us target residency) is the bottleneck.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import List, Sequence
 
-from repro.governor.idle import FixedGovernor, MenuGovernor, OracleGovernor
-from repro.server import RunResult, ServerNode, named_configuration
-from repro.workloads import memcached_workload
+from repro.governor.idle import ReplayOracleGovernor
+from repro.server import RunResult
+from repro.sweep import ScenarioSpec, default_runner
+
+#: Backwards-compatible alias: the adapter used to live in this module.
+_OracleAdapter = ReplayOracleGovernor
+
+#: Governor names swept, in presentation order (all are import-time
+#: entries of GOVERNOR_FACTORIES, so they work under any executor).
+GOVERNORS: Sequence[str] = ("menu", "oracle", "c1_only")
 
 
 @dataclass
@@ -34,54 +46,27 @@ class GovernorPoint:
     result: RunResult
 
 
-class _OracleAdapter(OracleGovernor):
-    """OracleGovernor fed by the node's actual idle durations.
-
-    The simulator calls ``observe_idle`` with the truth *after* each
-    interval; a real oracle knows it *before*. For an open-loop Poisson
-    stream, idle intervals are i.i.d., so using the upcoming interval
-    requires peeking — we approximate by replaying the last observed
-    interval, which is exact in distribution.
-    """
-
-    def __init__(self) -> None:
-        super().__init__()
-        self._last = 1e-3
-
-    def observe_idle(self, duration: float) -> None:
-        self._last = duration
-
-    def choose(self, catalog, hint=None):
-        return super().choose(catalog, hint=self._last)
-
-
-_GOVERNORS: Dict[str, Callable] = {
-    "menu": MenuGovernor,
-    "oracle": _OracleAdapter,
-    "c1_only": lambda: FixedGovernor("C1"),
-}
-
-
 def run(
     qps: float = 100_000,
     horizon: float = 0.15,
     seed: int = 42,
-    configs: List[str] = ("NT_Baseline", "NT_AW"),
+    configs: Sequence[str] = ("NT_Baseline", "NT_AW"),
+    governors: Sequence[str] = GOVERNORS,
 ) -> List[GovernorPoint]:
     """Cross governors with configurations at one operating point."""
-    points = []
-    for config_name in configs:
-        for gov_name, factory in _GOVERNORS.items():
-            node = ServerNode(
-                workload=memcached_workload(),
-                configuration=named_configuration(config_name),
-                qps=qps,
-                horizon=horizon,
-                seed=seed,
-                governor_factory=factory,
-            )
-            points.append(GovernorPoint(gov_name, config_name, node.run()))
-    return points
+    specs = [
+        ScenarioSpec(
+            workload="memcached", config=config_name, qps=qps,
+            horizon=horizon, seed=seed, governor=governor_name,
+        )
+        for config_name in configs
+        for governor_name in governors
+    ]
+    results = default_runner().run_many(specs)
+    return [
+        GovernorPoint(spec.governor, spec.config, result)
+        for spec, result in zip(specs, results)
+    ]
 
 
 def main() -> None:

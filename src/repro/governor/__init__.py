@@ -10,6 +10,7 @@ from repro.governor.idle import (
     IdleGovernor,
     MenuGovernor,
     OracleGovernor,
+    ReplayOracleGovernor,
 )
 from repro.governor.pstates import PState, PStateTable
 
@@ -18,6 +19,7 @@ __all__ = [
     "IdleGovernor",
     "MenuGovernor",
     "OracleGovernor",
+    "ReplayOracleGovernor",
     "PState",
     "PStateTable",
 ]

@@ -16,6 +16,9 @@ Three policies are provided:
   bounds and the "C1-only" configurations).
 - :class:`OracleGovernor` — told the actual upcoming idle duration
   (upper-bound studies).
+- :class:`ReplayOracleGovernor` — a drop-in oracle for simulators that
+  only report idle durations *after* the fact (the ``"oracle"`` entry in
+  :data:`repro.sweep.spec.GOVERNOR_FACTORIES`).
 """
 
 from __future__ import annotations
@@ -129,3 +132,36 @@ class OracleGovernor(IdleGovernor):
         if hint is None:
             raise ConfigurationError("OracleGovernor requires an idle-duration hint")
         return catalog.select(hint, self.latency_limit)
+
+
+class ReplayOracleGovernor(OracleGovernor):
+    """:class:`OracleGovernor` fed by the node's actual idle durations.
+
+    The simulator calls :meth:`observe_idle` with the truth *after* each
+    interval; a real oracle knows it *before*. For an open-loop Poisson
+    stream, idle intervals are i.i.d., so using the upcoming interval
+    requires peeking — we approximate by replaying the last observed
+    interval, which is exact in distribution. This is the best any
+    predictor could do with the *existing* C-state hierarchy, which is
+    what the governor ablation compares AW against.
+    """
+
+    def __init__(
+        self,
+        latency_limit: Optional[float] = None,
+        initial_hint: float = 1e-3,
+    ):
+        super().__init__(latency_limit=latency_limit)
+        if initial_hint < 0:
+            raise ConfigurationError("initial hint must be >= 0")
+        self._last = initial_hint
+
+    def observe_idle(self, duration: float) -> None:
+        if duration < 0:
+            raise ConfigurationError(f"idle duration must be >= 0, got {duration}")
+        self._last = duration
+
+    def choose(self, catalog: CStateCatalog, hint: Optional[float] = None) -> CState:
+        # Always replay the last observed interval: callers that *could*
+        # pass a hint (none do today) would be peeking at the future.
+        return super().choose(catalog, hint=self._last)

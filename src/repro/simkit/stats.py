@@ -120,6 +120,15 @@ class PercentileTracker:
     def count(self) -> int:
         return len(self._samples)
 
+    @property
+    def samples(self) -> List[float]:
+        """A copy of the recorded samples (order unspecified).
+
+        Exposed so trackers can be serialized exactly (repro.store); the
+        returned list is safe to mutate.
+        """
+        return list(self._samples)
+
     def percentile(self, p: float) -> float:
         """Exact percentile with linear interpolation (numpy 'linear').
 

@@ -1,0 +1,232 @@
+"""Persistent, process-safe on-disk result store.
+
+The in-memory memo cache (:mod:`repro.sweep.runner`) dies with the
+process, so every CLI invocation used to re-simulate the whole grid. The
+:class:`ResultStore` layers *under* that memo: results are keyed by the
+spec's canonical :attr:`ScenarioSpec.cache_key` plus a **code-version
+salt**, serialized exactly (:mod:`repro.store.serialize`) and kept in a
+single sqlite database, so repeated invocations — and concurrent ones —
+reuse each simulated point across processes.
+
+Storage layout: one ``results.sqlite`` under ``--cache-dir``, the
+``REPRO_CACHE_DIR`` environment variable, or ``$XDG_CACHE_HOME/repro``
+(default ``~/.cache/repro``). sqlite provides the cross-process locking
+(WAL journal, busy timeout); each operation uses a short-lived connection
+so stores can be shared freely between runner instances and forked
+workers.
+
+The salt defaults to a digest of the ``repro`` package sources: any code
+change invalidates every cached result, because a result is only
+trustworthy for the exact simulator that produced it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import sqlite3
+import time
+from functools import lru_cache
+from pathlib import Path
+from typing import Iterator, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.server.metrics import RunResult
+from repro.store.serialize import result_from_dict, result_to_dict
+
+#: Database filename inside the cache directory.
+DB_FILENAME = "results.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    digest     TEXT PRIMARY KEY,
+    salt       TEXT NOT NULL,
+    spec       TEXT,
+    result     TEXT NOT NULL,
+    created_at REAL NOT NULL
+)
+"""
+
+
+def default_store_dir() -> str:
+    """Resolve the cache directory: $REPRO_CACHE_DIR > $XDG_CACHE_HOME/repro
+    > ~/.cache/repro."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return str(base / "repro")
+
+
+@lru_cache(maxsize=1)
+def code_version_salt() -> str:
+    """Digest of the installed ``repro`` sources (16 hex chars).
+
+    Hashes every ``.py`` file under the package root by path and content,
+    so editing any module yields a new salt and silently invalidates all
+    previously stored results.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+class ResultStore:
+    """sqlite-backed map from (cache key, salt) to :class:`RunResult`.
+
+    Args:
+        root: cache directory (created if missing); defaults to
+            :func:`default_store_dir`.
+        salt: version salt mixed into every key; defaults to
+            :func:`code_version_salt`. Records written under a different
+            salt are invisible (but kept on disk until :meth:`clear`).
+    """
+
+    def __init__(self, root: Optional[str] = None, salt: Optional[str] = None):
+        self.root = Path(root) if root else Path(default_store_dir())
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.salt = code_version_salt() if salt is None else str(salt)
+        self.path = self.root / DB_FILENAME
+        with self._connect() as conn:
+            conn.execute(_SCHEMA)
+
+    # -- internals ---------------------------------------------------------
+    @contextlib.contextmanager
+    def _connect(self) -> Iterator[sqlite3.Connection]:
+        """Short-lived connection: commit on success, always close."""
+        conn = sqlite3.connect(str(self.path), timeout=30.0)
+        try:
+            # WAL lets concurrent CLI invocations read while one writes.
+            conn.execute("PRAGMA journal_mode=WAL")
+            with conn:
+                yield conn
+        finally:
+            conn.close()
+
+    def _digest(self, key: Tuple) -> str:
+        payload = json.dumps([self.salt, list(key)], separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # -- mapping API -------------------------------------------------------
+    def get(self, key: Tuple) -> Optional[RunResult]:
+        """The stored result for ``key`` under this salt, or None.
+
+        Corrupt or format-incompatible rows are dropped and reported as
+        misses, so a half-written record can never poison a sweep.
+        """
+        digest = self._digest(key)
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT result FROM results WHERE digest = ?", (digest,)
+            ).fetchone()
+        if row is None:
+            return None
+        try:
+            return result_from_dict(json.loads(row[0]))
+        except (ConfigurationError, json.JSONDecodeError):
+            self.delete(key)
+            return None
+
+    def get_many(self, keys) -> dict:
+        """Stored results for ``keys`` under this salt, batched.
+
+        One connection serves the whole lookup (a warm thousand-point
+        grid would otherwise pay a thousand connection setups). Returns
+        ``{key: RunResult}`` for the hits only; corrupt rows are dropped
+        and omitted, like :meth:`get`.
+        """
+        keys = list(keys)
+        digest_to_key = {self._digest(key): key for key in keys}
+        out = {}
+        corrupt = []
+        digests = list(digest_to_key)
+        with self._connect() as conn:
+            for start in range(0, len(digests), 500):
+                chunk = digests[start:start + 500]
+                rows = conn.execute(
+                    "SELECT digest, result FROM results WHERE digest IN "
+                    f"({','.join('?' * len(chunk))})",
+                    chunk,
+                ).fetchall()
+                for digest, payload in rows:
+                    try:
+                        out[digest_to_key[digest]] = result_from_dict(
+                            json.loads(payload)
+                        )
+                    except (ConfigurationError, json.JSONDecodeError):
+                        corrupt.append(digest)
+            if corrupt:
+                conn.executemany(
+                    "DELETE FROM results WHERE digest = ?",
+                    [(d,) for d in corrupt],
+                )
+        return out
+
+    def put(self, key: Tuple, result: RunResult, spec=None) -> None:
+        """Store ``result`` under ``key`` (last writer wins)."""
+        spec_json = None
+        if spec is not None:
+            spec_json = json.dumps(spec.to_dict(), separators=(",", ":"))
+        with self._connect() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO results "
+                "(digest, salt, spec, result, created_at) VALUES (?, ?, ?, ?, ?)",
+                (
+                    self._digest(key),
+                    self.salt,
+                    spec_json,
+                    json.dumps(result_to_dict(result), separators=(",", ":")),
+                    time.time(),
+                ),
+            )
+
+    def delete(self, key: Tuple) -> None:
+        with self._connect() as conn:
+            conn.execute("DELETE FROM results WHERE digest = ?", (self._digest(key),))
+
+    def __contains__(self, key: Tuple) -> bool:
+        digest = self._digest(key)
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT 1 FROM results WHERE digest = ?", (digest,)
+            ).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        """Records visible under this store's salt."""
+        with self._connect() as conn:
+            (count,) = conn.execute(
+                "SELECT COUNT(*) FROM results WHERE salt = ?", (self.salt,)
+            ).fetchone()
+        return count
+
+    def total_records(self) -> int:
+        """All records on disk, including ones under stale salts."""
+        with self._connect() as conn:
+            (count,) = conn.execute("SELECT COUNT(*) FROM results").fetchone()
+        return count
+
+    def prune_stale(self) -> int:
+        """Drop records written under other salts; returns rows removed."""
+        with self._connect() as conn:
+            removed = conn.execute(
+                "DELETE FROM results WHERE salt != ?", (self.salt,)
+            ).rowcount
+        return removed
+
+    def clear(self) -> None:
+        """Drop every record (all salts)."""
+        with self._connect() as conn:
+            conn.execute("DELETE FROM results")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ResultStore({str(self.path)!r}, salt={self.salt!r})"

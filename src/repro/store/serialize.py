@@ -1,0 +1,92 @@
+"""Exact, compact serialization of :class:`RunResult` for the result store.
+
+A run's observables must survive a disk round trip bit-for-bit: experiments
+compare powers and percentiles for equality across executors, so lossy
+encodings (e.g. quantile sketches, decimal-string floats) would break the
+"store hit == fresh simulation" contract. Latency samples are therefore
+packed as raw IEEE-754 doubles (``struct``), deflated (``zlib``) and
+base64-armoured so the whole record is a single JSON document: ~40 000
+samples from a 100 KQPS x 0.4 s point compress to a few hundred KB.
+"""
+
+from __future__ import annotations
+
+import base64
+import struct
+import zlib
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.server.metrics import RunResult
+from repro.simkit.stats import PercentileTracker
+
+#: Bump when the record layout changes; readers treat other values as a miss.
+FORMAT_VERSION = 1
+
+
+def encode_samples(samples: Sequence[float]) -> str:
+    """Pack floats as little-endian doubles, deflate, base64 (exact)."""
+    packed = struct.pack(f"<{len(samples)}d", *samples)
+    return base64.b64encode(zlib.compress(packed)).decode("ascii")
+
+
+def decode_samples(blob: str) -> List[float]:
+    """Inverse of :func:`encode_samples`; floats round-trip exactly."""
+    packed = zlib.decompress(base64.b64decode(blob.encode("ascii")))
+    return list(struct.unpack(f"<{len(packed) // 8}d", packed))
+
+
+def result_to_dict(result: RunResult) -> Dict[str, object]:
+    """JSON-safe dict capturing a :class:`RunResult` exactly."""
+    return {
+        "format": FORMAT_VERSION,
+        "config_name": result.config_name,
+        "workload_name": result.workload_name,
+        "qps": result.qps,
+        "horizon": result.horizon,
+        "cores": result.cores,
+        "residency": dict(result.residency),
+        "transitions_per_second": dict(result.transitions_per_second),
+        "avg_core_power": result.avg_core_power,
+        "package_power": result.package_power,
+        "server_latency_samples": encode_samples(result.server_latency.samples),
+        "completed": result.completed,
+        "turbo_grant_rate": result.turbo_grant_rate,
+        "network_latency": result.network_latency,
+        "snoops_served": result.snoops_served,
+    }
+
+
+def result_from_dict(data: Dict[str, object]) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`result_to_dict` output.
+
+    Raises:
+        ConfigurationError: on a missing/foreign format marker or missing
+            fields — callers treat this as a cache miss, not a crash.
+    """
+    if not isinstance(data, dict) or data.get("format") != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported result record format {data.get('format')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    tracker = PercentileTracker()
+    try:
+        tracker.add_many(decode_samples(data["server_latency_samples"]))
+        return RunResult(
+            config_name=data["config_name"],
+            workload_name=data["workload_name"],
+            qps=data["qps"],
+            horizon=data["horizon"],
+            cores=data["cores"],
+            residency=dict(data["residency"]),
+            transitions_per_second=dict(data["transitions_per_second"]),
+            avg_core_power=data["avg_core_power"],
+            package_power=data["package_power"],
+            server_latency=tracker,
+            completed=data["completed"],
+            turbo_grant_rate=data["turbo_grant_rate"],
+            network_latency=data["network_latency"],
+            snoops_served=data.get("snoops_served", 0),
+        )
+    except (KeyError, TypeError, ValueError, struct.error, zlib.error) as exc:
+        raise ConfigurationError(f"corrupt result record: {exc}") from exc

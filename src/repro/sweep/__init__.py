@@ -7,8 +7,12 @@ points. This package makes that grid a first-class object:
   description of one simulation point with a canonical cache key, and
   :class:`ScenarioGrid`, cartesian-product sweep builders.
 - :mod:`repro.sweep.runner` — :class:`SweepRunner`, which executes specs
-  through pluggable executors (serial, or process-pool parallel) behind a
-  shared memo cache, with progress/log hooks.
+  through pluggable executors (serial, or streaming process-pool) behind
+  a shared memo cache and an optional persistent
+  :class:`~repro.store.ResultStore`, governed by a per-point
+  :class:`FailurePolicy` (timeout/retries, raise/skip/record).
+- :mod:`repro.sweep.progress` — the shared tty :class:`ProgressRenderer`
+  threaded through ``repro run --jobs N`` and ``repro sweep``.
 
 Every experiment module routes its simulation through this layer (via the
 thin shims in :mod:`repro.experiments.common`), so a single
@@ -24,14 +28,19 @@ from repro.sweep.spec import (
     register_governor,
     register_workload,
 )
+from repro.sweep.progress import ProgressRenderer
 from repro.sweep.runner import (
+    FailurePolicy,
+    PointFailure,
     ProcessExecutor,
     SerialExecutor,
     SweepRunner,
     clear_shared_cache,
     configure_default_runner,
     default_runner,
+    failure_record,
     result_record,
+    set_default_runner,
     shared_cache_size,
 )
 
@@ -41,11 +50,16 @@ __all__ = [
     "SweepRunner",
     "SerialExecutor",
     "ProcessExecutor",
+    "FailurePolicy",
+    "PointFailure",
+    "ProgressRenderer",
     "default_runner",
+    "set_default_runner",
     "configure_default_runner",
     "clear_shared_cache",
     "shared_cache_size",
     "result_record",
+    "failure_record",
     "register_workload",
     "register_governor",
     "WORKLOAD_FACTORIES",

@@ -1,0 +1,63 @@
+"""One shared progress renderer for ``repro run --jobs N`` and ``sweep``.
+
+Renders an in-place meter (``\\r``-rewritten bar) when the stream is a
+tty, and plain one-line-per-point output when it is not (CI logs, pipes).
+Implements the runner's ``ProgressHook`` protocol — ``(done, total,
+spec)`` — so the same instance threads through every sweep a command
+triggers, whether it came from an experiment module or a declarative
+grid.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, TextIO
+
+from repro.sweep.spec import ScenarioSpec
+
+#: Bar width in characters for the tty meter.
+BAR_WIDTH = 24
+
+
+class ProgressRenderer:
+    """tty-aware progress meter usable as a runner ``progress`` hook.
+
+    Args:
+        label: prefix shown before the meter (e.g. ``"sweep"``).
+        stream: output stream; defaults to ``sys.stderr`` so redirected
+            stdout (tables, JSONL) stays clean.
+    """
+
+    def __init__(self, label: str = "sweep", stream: Optional[TextIO] = None):
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        isatty = getattr(self.stream, "isatty", None)
+        self._tty = bool(isatty()) if callable(isatty) else False
+        self._line_open = False
+        self._last_width = 0
+
+    def __call__(self, done: int, total: int, spec: ScenarioSpec) -> None:
+        desc = f"{spec.workload}/{spec.config} @ {spec.qps / 1000:.0f}K QPS"
+        if self._tty:
+            filled = int(BAR_WIDTH * done / total) if total else BAR_WIDTH
+            bar = "#" * filled + "-" * (BAR_WIDTH - filled)
+            line = f"{self.label}: [{bar}] {done}/{total} {desc}"
+            # Pad to blot out whatever remains of a longer previous line.
+            padded = line.ljust(self._last_width)
+            self._last_width = len(line)
+            self.stream.write(f"\r{padded}")
+            self._line_open = True
+            if done >= total:
+                self.stream.write("\n")
+                self._line_open = False
+                self._last_width = 0
+        else:
+            self.stream.write(f"{self.label}: [{done}/{total}] {desc}\n")
+        self.stream.flush()
+
+    def close(self) -> None:
+        """Terminate a partially-drawn tty line (e.g. after an abort)."""
+        if self._line_open:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._line_open = False

@@ -1,16 +1,28 @@
-"""Sweep execution: memoised runs through pluggable executors.
+"""Sweep execution: memoised, store-backed runs through pluggable executors.
 
 The runner separates *what* to simulate (:class:`ScenarioSpec`) from *how*
 to execute it:
 
 - :class:`SerialExecutor` runs points in order in the calling process;
-- :class:`ProcessExecutor` fans points out over a
-  :class:`~concurrent.futures.ProcessPoolExecutor`.
+- :class:`ProcessExecutor` streams points through a
+  :class:`~concurrent.futures.ProcessPoolExecutor` with a bounded
+  submission window, so thousand-point grids hold O(jobs) task payloads
+  in flight instead of the whole grid.
 
 Both feed one shared memo cache keyed on the spec's canonical cache key, so
 experiments that revisit points (Fig 10 reuses Fig 9's baselines; Table 5
 reuses Fig 8's sweep) simulate each point exactly once per process,
-regardless of which runner instance asked first.
+regardless of which runner instance asked first. A runner may additionally
+carry a persistent :class:`~repro.store.ResultStore`, layered *under* the
+memo: misses consult the store before simulating, and fresh results are
+written back, so repeated CLI invocations reuse runs across processes.
+
+Individual failures are governed by a :class:`FailurePolicy` — per-point
+timeout, retry count, and a ``raise``/``skip``/``record`` mode — so one bad
+point no longer discards an entire sweep. Even in ``raise`` mode the
+process executor cancels pending futures and delivers already-completed
+results (they reach ``on_result`` and therefore the caches) before
+propagating the error.
 
 Simulations are deterministic functions of their spec, so serial and
 parallel execution produce identical results — the process pool only
@@ -19,14 +31,32 @@ changes wall-clock time.
 
 from __future__ import annotations
 
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import multiprocessing
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from time import monotonic
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PointTimeoutError
 from repro.server.metrics import RunResult
-from repro.sweep.spec import CacheKey, ScenarioGrid, ScenarioSpec
+from repro.sweep.spec import (
+    GOVERNOR_FACTORIES,
+    IMPORT_TIME_GOVERNOR_FACTORIES,
+    IMPORT_TIME_WORKLOAD_FACTORIES,
+    WORKLOAD_FACTORIES,
+    CacheKey,
+    ScenarioGrid,
+    ScenarioSpec,
+)
 
-#: ``progress(done, total, spec)`` — called after each point completes.
+#: ``progress(done, total, spec)`` — called after each point settles
+#: (success *or* terminal failure), so meters always reach ``total``.
 ProgressHook = Callable[[int, int, ScenarioSpec], None]
 
 #: ``log(message)`` — called for coarse runner lifecycle messages.
@@ -54,97 +84,396 @@ def _execute_spec_dict(data: Dict[str, object]) -> RunResult:
     return ScenarioSpec.from_dict(data).execute()
 
 
+def _worker_ready() -> bool:
+    """No-op task used to warm a pool before timeout deadlines start."""
+    return True
+
+
+# -- failure handling ---------------------------------------------------------
+
+#: FailurePolicy modes.
+RAISE = "raise"
+SKIP = "skip"
+RECORD = "record"
+_MODES = (RAISE, SKIP, RECORD)
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """What to do when one point fails.
+
+    Attributes:
+        mode: ``"raise"`` aborts the sweep on the first terminal failure
+            (after cancelling pending work and delivering completed
+            results); ``"skip"`` drops the point (its result slot becomes
+            ``None``); ``"record"`` keeps a :class:`PointFailure` in the
+            result slot.
+        timeout: per-point wall-clock budget in seconds (process executor
+            only), measured from submission to a free worker — points are
+            never submitted while all workers are busy, so queue wait
+            does not count. A timed-out point is treated as failed; its
+            worker is abandoned (it may keep running, occupying a pool
+            slot and delaying final pool shutdown, but it cannot fail
+            other points).
+        retries: how many times a failed/timed-out point is resubmitted
+            before its failure becomes terminal.
+    """
+
+    mode: str = RAISE
+    timeout: Optional[float] = None
+    retries: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ConfigurationError(
+                f"unknown failure mode {self.mode!r}; choose from {list(_MODES)}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError(f"timeout must be positive, got {self.timeout}")
+        if self.retries < 0:
+            raise ConfigurationError(f"retries must be >= 0, got {self.retries}")
+
+
+@dataclass
+class PointFailure:
+    """Terminal failure of one point (returned under ``record`` mode)."""
+
+    spec: ScenarioSpec
+    error: str
+    attempts: int
+
+
+#: ``on_failure(index, spec, failure)`` — called for each terminal
+#: (post-retry) failure under the ``skip``/``record`` modes.
+FailureHook = Callable[[int, ScenarioSpec, PointFailure], None]
+
+
+def _describe(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def find_unregistered(specs: Sequence[ScenarioSpec]):
+    """Workload/governor names that worker processes would resolve wrongly.
+
+    Returns ``(workloads, governors)`` sorted name lists: the names used
+    by ``specs`` whose *current* factory differs from the import-time
+    registries of :mod:`repro.sweep.spec` — either registered dynamically
+    in this process only, or overriding a built-in name (workers would
+    silently use the built-in factory instead).
+    """
+    workloads = sorted(
+        name
+        for name in {s.workload for s in specs}
+        if WORKLOAD_FACTORIES.get(name) is not IMPORT_TIME_WORKLOAD_FACTORIES.get(name)
+    )
+    governors = sorted(
+        name
+        for name in {s.governor for s in specs}
+        if GOVERNOR_FACTORIES.get(name) is not IMPORT_TIME_GOVERNOR_FACTORIES.get(name)
+    )
+    return workloads, governors
+
+
+def _check_worker_registries(
+    specs: Sequence[ScenarioSpec], start_method: Optional[str] = None
+) -> None:
+    """Fail fast (and clearly) on parent-only registrations.
+
+    With the ``fork`` start method workers inherit the parent's memory, so
+    dynamically registered factories are visible. Under ``spawn`` or
+    ``forkserver`` workers re-import :mod:`repro.sweep.spec` from scratch
+    and would fail point-by-point with a baffling worker-side
+    ``ConfigurationError("unknown governor ...")`` — catch that here,
+    before anything is submitted, with an actionable message.
+    """
+    if start_method is None:
+        start_method = multiprocessing.get_start_method()
+    if start_method == "fork":
+        return
+    workloads, governors = find_unregistered(specs)
+    if not workloads and not governors:
+        return
+    parts = []
+    if workloads:
+        parts.append(f"workload(s) {workloads}")
+    if governors:
+        parts.append(f"governor(s) {governors}")
+    raise ConfigurationError(
+        f"{' and '.join(parts)} registered or overridden only in this "
+        f"process: {start_method!r} worker processes re-import "
+        "repro.sweep.spec and will not see factories registered after "
+        "import. Register them at import time of a module workers import "
+        "(e.g. inside repro), or use the serial executor."
+    )
+
+
+# -- executors ----------------------------------------------------------------
+
 class SerialExecutor:
-    """Run points one at a time in the calling process."""
+    """Run points one at a time in the calling process.
+
+    Honours the failure policy's ``mode`` and ``retries``; ``timeout`` is
+    not enforced (a single-process executor cannot interrupt a running
+    simulation).
+    """
 
     name = "serial"
+
+    def __init__(self, policy: Optional[FailurePolicy] = None):
+        self.policy = policy or FailurePolicy()
 
     def map_specs(
         self,
         specs: Sequence[ScenarioSpec],
         on_result: Optional[Callable[[int, ScenarioSpec, RunResult], None]] = None,
-    ) -> List[RunResult]:
-        results: List[RunResult] = []
+        on_failure: Optional[FailureHook] = None,
+    ) -> List[Optional[Union[RunResult, PointFailure]]]:
+        results: List[Optional[Union[RunResult, PointFailure]]] = [None] * len(specs)
         for i, spec in enumerate(specs):
-            result = spec.execute()
-            results.append(result)
-            if on_result is not None:
-                on_result(i, spec, result)
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    result = spec.execute()
+                except Exception as exc:
+                    if attempts <= self.policy.retries:
+                        continue
+                    if self.policy.mode == RAISE:
+                        raise
+                    failure = PointFailure(spec, _describe(exc), attempts)
+                    if self.policy.mode == RECORD:
+                        results[i] = failure
+                    if on_failure is not None:
+                        on_failure(i, spec, failure)
+                    break
+                else:
+                    results[i] = result
+                    if on_result is not None:
+                        on_result(i, spec, result)
+                    break
         return results
 
 
 class ProcessExecutor:
-    """Fan points out over a process pool.
+    """Stream points through a process pool with a bounded window.
 
     Results are identical to :class:`SerialExecutor` for the same specs:
     each simulation is a deterministic function of its spec, and results
     are returned positionally regardless of completion order.
+
+    Submission is chunked ``imap``-style: at most ``jobs * chunk_factor``
+    futures are outstanding at any moment, so a grid of thousands of
+    points does not materialise thousands of pickled payloads (or their
+    results) at once — completed results are delivered to ``on_result``
+    as they finish and only the positional result list grows.
+
+    Failure handling follows the :class:`FailurePolicy`: failed or
+    timed-out points are retried up to ``retries`` times, then either
+    abort the sweep (``raise`` — after cancelling pending futures and
+    draining/delivering already-running ones), are dropped (``skip``), or
+    yield a :class:`PointFailure` (``record``). With a timeout set,
+    submission is capped to non-occupied workers, so a point's budget
+    starts when a worker picks it up — never while queued. A timed-out
+    point's worker cannot be killed portably; it is abandoned (its
+    eventual result is ignored), which occupies one pool slot and delays
+    final pool shutdown but cannot fail other points.
     """
 
     name = "process"
 
-    def __init__(self, jobs: int = 4):
+    def __init__(
+        self,
+        jobs: int = 4,
+        policy: Optional[FailurePolicy] = None,
+        chunk_factor: int = 4,
+    ):
         if jobs <= 0:
             raise ConfigurationError(f"jobs must be positive, got {jobs}")
+        if chunk_factor <= 0:
+            raise ConfigurationError(
+                f"chunk_factor must be positive, got {chunk_factor}"
+            )
         self.jobs = jobs
+        self.policy = policy or FailurePolicy()
+        self.chunk_factor = chunk_factor
 
     def map_specs(
         self,
         specs: Sequence[ScenarioSpec],
         on_result: Optional[Callable[[int, ScenarioSpec, RunResult], None]] = None,
-    ) -> List[RunResult]:
+        on_failure: Optional[FailureHook] = None,
+    ) -> List[Optional[Union[RunResult, PointFailure]]]:
         if not specs:
             return []
-        if len(specs) == 1:
-            # Pool spin-up costs more than one point; run it inline.
-            return SerialExecutor().map_specs(specs, on_result)
-        results: List[Optional[RunResult]] = [None] * len(specs)
+        if len(specs) == 1 and self.policy.timeout is None:
+            # Pool spin-up costs more than one point; run it inline (no
+            # workers, so no registry constraints). Not when a timeout is
+            # set: only the pool path can enforce one.
+            return SerialExecutor(self.policy).map_specs(specs, on_result, on_failure)
+        _check_worker_registries(specs)
+
+        policy = self.policy
+        results: List[Optional[Union[RunResult, PointFailure]]] = [None] * len(specs)
         workers = min(self.jobs, len(specs))
+        queue = deque((i, 1) for i in range(len(specs)))  # (index, attempt)
+        active: Dict[object, tuple] = {}  # future -> (index, attempt, deadline)
+        first_error: List[Optional[BaseException]] = [None]
+        # Timed-out futures we could not cancel: their workers are still
+        # busy, so they reduce submission capacity until they finish.
+        # (Future.running() flips as soon as an item enters the pool's
+        # call queue, so it cannot tell queued from executing — instead
+        # we never submit more work than there are non-occupied workers
+        # when a timeout is set, which makes deadline-at-submission
+        # equal deadline-at-start up to scheduler latency.)
+        abandoned: set = set()
+        #: Poll cadence while waiting on an occupied worker to free up.
+        poll_interval = 0.05
+
+        def settle_failure(i: int, attempt: int, exc: BaseException) -> None:
+            if first_error[0] is not None:
+                return  # already aborting; drop secondary failures
+            if attempt <= policy.retries:
+                queue.append((i, attempt + 1))
+                return
+            if policy.mode == RAISE:
+                first_error[0] = exc
+                # Stop feeding the pool and cancel everything not yet
+                # running; still-running futures are drained below so
+                # their results reach on_result (and the caches).
+                queue.clear()
+                for future in list(active):
+                    future.cancel()
+                return
+            failure = PointFailure(specs[i], _describe(exc), attempt)
+            if policy.mode == RECORD:
+                results[i] = failure
+            if on_failure is not None:
+                on_failure(i, specs[i], failure)
+
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_execute_spec_dict, spec.to_dict()): i
-                for i, spec in enumerate(specs)
-            }
-            pending = set(futures)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            if policy.timeout is not None:
+                # Warm every worker first: under spawn, interpreter
+                # startup + package import can dwarf a short budget, and
+                # that cost must not be billed to the first batch.
+                wait([pool.submit(_worker_ready) for _ in range(workers)])
+            while queue or active:
+                abandoned = {f for f in abandoned if not f.done()}
+                if policy.timeout is not None:
+                    # Submit only onto free workers so a point's clock
+                    # (started at submission) never ticks in the queue.
+                    window = max(0, workers - len(abandoned))
+                else:
+                    window = workers * self.chunk_factor
+                while queue and len(active) < window:
+                    i, attempt = queue.popleft()
+                    future = pool.submit(_execute_spec_dict, specs[i].to_dict())
+                    deadline = (
+                        monotonic() + policy.timeout
+                        if policy.timeout is not None
+                        else None
+                    )
+                    active[future] = (i, attempt, deadline)
+                if not active:
+                    if queue:
+                        # Every worker is occupied by an abandoned point;
+                        # wait for one to free up, then resubmit.
+                        wait(abandoned, timeout=poll_interval)
+                        continue
+                    break
+                wait_timeout = None
+                if policy.timeout is not None:
+                    nearest = min(deadline for _, _, deadline in active.values())
+                    wait_timeout = max(0.0, nearest - monotonic())
+                done, _ = wait(
+                    set(active), timeout=wait_timeout, return_when=FIRST_COMPLETED
+                )
                 for future in done:
-                    i = futures[future]
-                    result = future.result()  # re-raises worker exceptions
-                    results[i] = result
-                    if on_result is not None:
-                        on_result(i, specs[i], result)
-        return results  # type: ignore[return-value]
+                    i, attempt, _ = active.pop(future)
+                    try:
+                        result = future.result()
+                    except CancelledError:
+                        continue
+                    except Exception as exc:
+                        settle_failure(i, attempt, exc)
+                    else:
+                        results[i] = result
+                        if on_result is not None:
+                            on_result(i, specs[i], result)
+                if policy.timeout is not None:
+                    now = monotonic()
+                    overdue = [
+                        future
+                        for future, (_, _, deadline) in active.items()
+                        if deadline is not None and deadline <= now
+                    ]
+                    for future in overdue:
+                        i, attempt, _ = active.pop(future)
+                        if future.done() and not future.cancelled():
+                            # Completed since the wait() snapshot: harvest
+                            # the result rather than discarding real work.
+                            try:
+                                result = future.result()
+                            except Exception as exc:
+                                settle_failure(i, attempt, exc)
+                            else:
+                                results[i] = result
+                                if on_result is not None:
+                                    on_result(i, specs[i], result)
+                            continue
+                        if not future.cancel():
+                            # Still running: the worker stays occupied
+                            # until the simulation finishes on its own.
+                            abandoned.add(future)
+                        settle_failure(
+                            i,
+                            attempt,
+                            PointTimeoutError(
+                                f"point exceeded {policy.timeout}s "
+                                f"(spec {specs[i].cache_key})"
+                            ),
+                        )
+        if first_error[0] is not None:
+            raise first_error[0]
+        return results
 
 
 ExecutorLike = Union[SerialExecutor, ProcessExecutor]
 
 _EXECUTORS: Dict[str, Callable[..., ExecutorLike]] = {
-    "serial": lambda jobs=None: SerialExecutor(),
-    "process": lambda jobs=None: ProcessExecutor(jobs or 4),
+    "serial": lambda jobs=None, policy=None: SerialExecutor(policy),
+    "process": lambda jobs=None, policy=None: ProcessExecutor(jobs or 4, policy),
 }
 
 
-def _make_executor(executor: Union[str, ExecutorLike], jobs: Optional[int]) -> ExecutorLike:
+def _make_executor(
+    executor: Union[str, ExecutorLike],
+    jobs: Optional[int],
+    policy: Optional[FailurePolicy] = None,
+) -> ExecutorLike:
     if isinstance(executor, str):
         if executor not in _EXECUTORS:
             raise ConfigurationError(
                 f"unknown executor {executor!r}; choose from {sorted(_EXECUTORS)}"
             )
-        return _EXECUTORS[executor](jobs=jobs)
+        return _EXECUTORS[executor](jobs=jobs, policy=policy)
     return executor
 
 
 class SweepRunner:
-    """Execute scenario specs with memoisation, progress and log hooks.
+    """Execute scenario specs with memoisation, persistence and hooks.
 
     Args:
         executor: ``"serial"``, ``"process"``, or an executor instance.
         jobs: worker count for the ``"process"`` executor.
         cache: memo dict keyed on :attr:`ScenarioSpec.cache_key`; defaults
             to the process-wide shared cache.
-        progress: optional ``(done, total, spec)`` hook per completed point.
+        progress: optional ``(done, total, spec)`` hook per settled point.
         log: optional sink for coarse lifecycle messages.
+        store: optional persistent :class:`~repro.store.ResultStore`
+            consulted on memo misses and updated with fresh results.
+        policy: :class:`FailurePolicy` for string-named executors
+            (ignored when ``executor`` is an instance, which carries its
+            own policy).
     """
 
     def __init__(
@@ -154,53 +483,136 @@ class SweepRunner:
         cache: Optional[Dict[CacheKey, RunResult]] = None,
         progress: Optional[ProgressHook] = None,
         log: Optional[LogHook] = None,
+        store=None,
+        policy: Optional[FailurePolicy] = None,
     ):
-        self.executor = _make_executor(executor, jobs)
+        self.executor = _make_executor(executor, jobs, policy)
         self.cache = _SHARED_CACHE if cache is None else cache
         self.progress = progress
         self.log = log
+        self.store = store
+        #: Terminal failures from the most recent run_many, by cache key.
+        self.last_failures: Dict[CacheKey, PointFailure] = {}
 
     # -- public API --------------------------------------------------------
     def run(self, spec: ScenarioSpec) -> RunResult:
         """One point, memoised."""
         return self.run_many([spec])[0]
 
-    def run_many(self, specs: Sequence[ScenarioSpec]) -> List[RunResult]:
+    def run_many(
+        self, specs: Sequence[ScenarioSpec]
+    ) -> List[Optional[Union[RunResult, PointFailure]]]:
         """All points, memoised, order-preserving.
 
         Duplicate and already-cached specs are simulated at most once; the
-        executor only ever sees the deduplicated cache misses.
+        executor only ever sees the deduplicated misses that neither the
+        memo cache nor the persistent store could answer.
+
+        Under the default ``raise`` failure policy the returned list holds
+        only :class:`RunResult` objects. Under ``skip`` a failed point's
+        slot is ``None``; under ``record`` it is a :class:`PointFailure`
+        (details for both are kept in :attr:`last_failures`).
         """
         specs = list(specs)
-        misses: List[ScenarioSpec] = []
-        seen: Dict[CacheKey, None] = {}
+        self.last_failures = {}
+        unique: Dict[CacheKey, ScenarioSpec] = {}
         for spec in specs:
-            key = spec.cache_key
-            if key not in self.cache and key not in seen:
-                seen[key] = None
-                misses.append(spec)
+            unique.setdefault(spec.cache_key, spec)
+        memo_hits = sum(1 for key in unique if key in self.cache)
+        misses = [spec for key, spec in unique.items() if key not in self.cache]
+
+        # The store is an accelerator, never a dependency: any I/O error
+        # (full disk, locked/corrupt database) disables it for the rest of
+        # this call and the sweep proceeds from simulation alone.
+        store_ok = [self.store is not None]
+
+        def store_call(op: Callable[[], object]) -> object:
+            if not store_ok[0]:
+                return None
+            try:
+                return op()
+            except Exception as exc:  # sqlite3.Error, OSError, ...
+                store_ok[0] = False
+                if self.log is not None:
+                    self.log(f"sweep: result store disabled ({exc})")
+                return None
+
+        store_hits = 0
+        if store_ok[0] and misses:
+            # Batch the lookup when the store supports it (one sqlite
+            # connection for the whole grid instead of one per key).
+            get_many = getattr(self.store, "get_many", None)
+            if get_many is not None:
+                found = store_call(
+                    lambda: get_many([spec.cache_key for spec in misses])
+                ) or {}
+            else:
+                found = {}
+                for spec in misses:
+                    stored = store_call(lambda: self.store.get(spec.cache_key))
+                    if stored is not None:
+                        found[spec.cache_key] = stored
+            remaining: List[ScenarioSpec] = []
+            for spec in misses:
+                stored = found.get(spec.cache_key)
+                if stored is None:
+                    remaining.append(spec)
+                else:
+                    self.cache[spec.cache_key] = stored
+                    store_hits += 1
+            misses = remaining
 
         total = len(misses)
         if self.log is not None and specs:
+            duplicates = len(specs) - len(unique)
+            parts = [f"{total} to simulate", f"{memo_hits} memoised"]
+            if self.store is not None:
+                parts.append(f"{store_hits} from store")
+            if duplicates:
+                parts.append(f"{duplicates} duplicate")
             self.log(
-                f"sweep: {len(specs)} points ({total} to simulate, "
-                f"{len(specs) - total} cached) via {self.executor.name}"
+                f"sweep: {len(specs)} points ({', '.join(parts)}) "
+                f"via {self.executor.name}"
             )
 
         if misses:
-            done_count = [0]
+            settled = [0]
 
             def on_result(i: int, spec: ScenarioSpec, result: RunResult) -> None:
                 self.cache[spec.cache_key] = result
-                done_count[0] += 1
+                store_call(lambda: self.store.put(spec.cache_key, result, spec=spec))
+                settled[0] += 1
                 if self.progress is not None:
-                    self.progress(done_count[0], total, spec)
+                    self.progress(settled[0], total, spec)
 
-            self.executor.map_specs(misses, on_result)
+            def on_failure(i: int, spec: ScenarioSpec, failure: PointFailure) -> None:
+                self.last_failures[spec.cache_key] = failure
+                if self.log is not None:
+                    self.log(
+                        f"sweep: point failed after {failure.attempts} attempt(s) "
+                        f"({failure.error})"
+                    )
+                settled[0] += 1
+                if self.progress is not None:
+                    self.progress(settled[0], total, spec)
 
-        return [self.cache[spec.cache_key] for spec in specs]
+            self.executor.map_specs(misses, on_result, on_failure)
 
-    def run_grid(self, grid: ScenarioGrid) -> List[RunResult]:
+        mode = getattr(self.executor, "policy", FailurePolicy()).mode
+        out: List[Optional[Union[RunResult, PointFailure]]] = []
+        for spec in specs:
+            key = spec.cache_key
+            if key in self.cache:
+                out.append(self.cache[key])
+            elif key in self.last_failures and mode == RECORD:
+                out.append(self.last_failures[key])
+            else:
+                out.append(None)
+        return out
+
+    def run_grid(
+        self, grid: ScenarioGrid
+    ) -> List[Optional[Union[RunResult, PointFailure]]]:
         return self.run_many(list(grid))
 
     def clear_cache(self) -> None:
@@ -220,18 +632,32 @@ def default_runner() -> SweepRunner:
     return _default_runner
 
 
+def set_default_runner(runner: SweepRunner) -> SweepRunner:
+    """Swap in a pre-built process-wide runner (returns it).
+
+    The CLI uses this to restore the previous runner after a command, so
+    flags like ``--cache-dir`` never leak into later programmatic use.
+    """
+    global _default_runner
+    _default_runner = runner
+    return runner
+
+
 def configure_default_runner(
     executor: Union[str, ExecutorLike] = "serial",
     jobs: Optional[int] = None,
     progress: Optional[ProgressHook] = None,
     log: Optional[LogHook] = None,
+    store=None,
+    policy: Optional[FailurePolicy] = None,
 ) -> SweepRunner:
     """Replace the process-wide runner (keeps the shared cache)."""
-    global _default_runner
-    _default_runner = SweepRunner(
-        executor=executor, jobs=jobs, progress=progress, log=log
+    return set_default_runner(
+        SweepRunner(
+            executor=executor, jobs=jobs, progress=progress, log=log,
+            store=store, policy=policy,
+        )
     )
-    return _default_runner
 
 
 def result_record(spec: ScenarioSpec, result: RunResult) -> Dict[str, object]:
@@ -250,4 +676,12 @@ def result_record(spec: ScenarioSpec, result: RunResult) -> Dict[str, object]:
         snoops_served=result.snoops_served,
         residency={k: v for k, v in sorted(result.residency.items())},
     )
+    return record
+
+
+def failure_record(spec: ScenarioSpec, failure: Optional[PointFailure]) -> Dict[str, object]:
+    """Flat JSON-safe record of one failed point: spec fields + error."""
+    record = spec.to_dict()
+    record["error"] = failure.error if failure is not None else "point failed"
+    record["attempts"] = failure.attempts if failure is not None else 0
     return record

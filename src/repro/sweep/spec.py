@@ -23,7 +23,7 @@ from dataclasses import asdict, dataclass, fields, replace
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
-from repro.governor.idle import FixedGovernor, MenuGovernor
+from repro.governor.idle import FixedGovernor, MenuGovernor, ReplayOracleGovernor
 from repro.server.config import ServerConfiguration, named_configuration
 from repro.server.metrics import RunResult
 from repro.workloads import kafka_workload, memcached_workload, mysql_workload
@@ -53,7 +53,20 @@ WORKLOAD_FACTORIES: Dict[str, Callable[[], Workload]] = {
 GOVERNOR_FACTORIES: Dict[str, Callable[[], object]] = {
     "menu": MenuGovernor,
     "c1_only": lambda: FixedGovernor("C1"),
+    "oracle": ReplayOracleGovernor,
 }
+
+#: Factories guaranteed to exist in *worker* processes: anything
+#: registered (or overridden) after import via
+#: register_workload/register_governor lives only in the registering
+#: process unless workers are forked from it. The process executor checks
+#: specs against these snapshots — by name *and* factory identity, so
+#: overriding a built-in name is caught too — before submitting when the
+#: multiprocessing start method does not inherit parent memory.
+IMPORT_TIME_WORKLOAD_FACTORIES = dict(WORKLOAD_FACTORIES)
+IMPORT_TIME_GOVERNOR_FACTORIES = dict(GOVERNOR_FACTORIES)
+IMPORT_TIME_WORKLOADS = frozenset(IMPORT_TIME_WORKLOAD_FACTORIES)
+IMPORT_TIME_GOVERNORS = frozenset(IMPORT_TIME_GOVERNOR_FACTORIES)
 
 
 def register_workload(name: str, factory: Callable[[], Workload]) -> None:

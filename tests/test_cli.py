@@ -6,6 +6,7 @@ import os
 import pytest
 
 from repro.cli import (
+    EXIT_ERROR,
     EXIT_OK,
     EXIT_USAGE,
     EXPERIMENT_IDS,
@@ -51,6 +52,28 @@ class TestParser:
     def test_sweep_turbo_flags_exclusive(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--kqps", "10", "--turbo", "--no-turbo"])
+
+    def test_sweep_failure_flags(self):
+        args = build_parser().parse_args([
+            "sweep", "--kqps", "10", "--on-error", "skip",
+            "--timeout", "5", "--retries", "2",
+        ])
+        assert args.on_error == "skip"
+        assert args.timeout == 5.0
+        assert args.retries == 2
+
+    def test_cache_flags_on_run_and_sweep(self):
+        run_args = build_parser().parse_args(["run", "table1", "--no-cache"])
+        assert run_args.no_cache
+        sweep_args = build_parser().parse_args(
+            ["sweep", "--kqps", "10", "--cache-dir", "/tmp/x"]
+        )
+        assert sweep_args.cache_dir == "/tmp/x"
+        assert not sweep_args.no_cache
+
+    def test_grid_flag(self):
+        args = build_parser().parse_args(["sweep", "--grid", "grid.jsonl"])
+        assert args.grid == "grid.jsonl"
 
 
 class TestCommands:
@@ -134,7 +157,7 @@ class TestSweepCommand:
 
         argv = [
             "sweep", "--config", "baseline", "--kqps", "10", "20",
-            "--horizon", "0.02", "--seed", "7",
+            "--horizon", "0.02", "--seed", "7", "--no-cache",
         ]
         try:
             clear_cache()
@@ -148,3 +171,201 @@ class TestSweepCommand:
             # `--jobs` reconfigures the process-wide runner; put the
             # serial default back so later tests are unaffected.
             configure_default_runner()
+
+
+class TestSweepGridFile:
+    def _grid_dicts(self):
+        from repro.sweep import ScenarioGrid
+
+        return ScenarioGrid.product(
+            configs=["baseline", "AW"], qps=[20_000],
+            horizons=[0.02], seeds=[7],
+        ).to_dicts()
+
+    def test_grid_jsonl_end_to_end(self, tmp_path, capsys):
+        grid_file = tmp_path / "grid.jsonl"
+        with open(grid_file, "w") as handle:
+            for record in self._grid_dicts():
+                handle.write(json.dumps(record) + "\n")
+        out_file = tmp_path / "points.jsonl"
+        code = main(["sweep", "--grid", str(grid_file), "-o", str(out_file)])
+        assert code == EXIT_OK
+        with open(out_file) as handle:
+            records = [json.loads(line) for line in handle]
+        assert [r["config"] for r in records] == ["baseline", "AW"]
+        assert all(r["completed"] > 0 for r in records)
+
+    def test_grid_json_array_accepted(self, tmp_path, capsys):
+        grid_file = tmp_path / "grid.json"
+        grid_file.write_text(json.dumps(self._grid_dicts()[:1]))
+        assert main(["sweep", "--grid", str(grid_file)]) == EXIT_OK
+        assert "baseline" in capsys.readouterr().out
+
+    def test_grid_plus_rates_is_usage_error(self, tmp_path, capsys):
+        grid_file = tmp_path / "grid.jsonl"
+        grid_file.write_text(json.dumps(self._grid_dicts()[0]) + "\n")
+        code = main(["sweep", "--grid", str(grid_file), "--kqps", "10"])
+        assert code == EXIT_USAGE
+        assert "not both" in capsys.readouterr().err
+
+    def test_grid_plus_any_axis_flag_is_usage_error(self, tmp_path, capsys):
+        # Axis flags would be silently overridden by the file's specs.
+        grid_file = tmp_path / "grid.jsonl"
+        grid_file.write_text(json.dumps(self._grid_dicts()[0]) + "\n")
+        code = main(["sweep", "--grid", str(grid_file), "--governor", "oracle"])
+        assert code == EXIT_USAGE
+        assert "--governor" in capsys.readouterr().err
+
+    def test_missing_grid_file_is_usage_error(self, capsys):
+        assert main(["sweep", "--grid", "/nonexistent.jsonl"]) == EXIT_USAGE
+        assert "grid file" in capsys.readouterr().err
+
+    def test_malformed_grid_file_is_usage_error(self, tmp_path, capsys):
+        grid_file = tmp_path / "grid.jsonl"
+        grid_file.write_text("{not json\n")
+        assert main(["sweep", "--grid", str(grid_file)]) == EXIT_USAGE
+
+    def test_empty_grid_array_is_usage_error(self, tmp_path, capsys):
+        grid_file = tmp_path / "grid.json"
+        grid_file.write_text("[]")
+        assert main(["sweep", "--grid", str(grid_file)]) == EXIT_USAGE
+        assert "no points" in capsys.readouterr().err
+
+    def test_timeout_without_jobs_is_usage_error(self, capsys):
+        # Serial execution cannot enforce a per-point budget; accepting
+        # the flag silently would leave the user unprotected.
+        code = main(["sweep", "--kqps", "10", "--timeout", "5"])
+        assert code == EXIT_USAGE
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_unknown_spec_field_is_usage_error(self, tmp_path, capsys):
+        record = dict(self._grid_dicts()[0], typo=1)
+        grid_file = tmp_path / "grid.jsonl"
+        grid_file.write_text(json.dumps(record) + "\n")
+        assert main(["sweep", "--grid", str(grid_file)]) == EXIT_USAGE
+
+
+class TestSweepCaching:
+    def test_second_invocation_served_from_store(self, tmp_path, capsys):
+        from repro.sweep import clear_shared_cache
+
+        argv = [
+            "sweep", "--config", "baseline", "--kqps", "20",
+            "--horizon", "0.02", "--seed", "7",
+            "--cache-dir", str(tmp_path), "--progress",
+        ]
+        clear_shared_cache()  # other tests may have memoised this point
+        assert main(argv) == EXIT_OK
+        first = capsys.readouterr()
+        assert "[1/1]" in first.err  # one point simulated
+
+        # a fresh process is approximated by dropping the in-memory memo
+        clear_shared_cache()
+        assert main(argv) == EXIT_OK
+        second = capsys.readouterr()
+        assert "[" not in second.err  # zero points simulated: store hits
+        assert second.out == first.out
+
+    def test_no_cache_resimulates(self, tmp_path, capsys):
+        from repro.sweep import clear_shared_cache
+
+        argv = [
+            "sweep", "--config", "baseline", "--kqps", "20",
+            "--horizon", "0.02", "--seed", "7",
+            "--cache-dir", str(tmp_path), "--progress", "--no-cache",
+        ]
+        clear_shared_cache()  # other tests may have memoised this point
+        assert main(argv) == EXIT_OK
+        assert "[1/1]" in capsys.readouterr().err
+        clear_shared_cache()
+        assert main(argv) == EXIT_OK
+        assert "[1/1]" in capsys.readouterr().err  # simulated again
+
+    def test_cli_flags_do_not_leak_into_default_runner(self, tmp_path):
+        from repro.sweep import default_runner
+
+        before = default_runner()
+        assert main([
+            "sweep", "--config", "baseline", "--kqps", "20",
+            "--horizon", "0.02", "--seed", "7",
+            "--cache-dir", str(tmp_path), "--on-error", "skip",
+        ]) == EXIT_OK
+        after = default_runner()
+        assert after is before
+        assert after.store is None
+
+
+class TestSweepFailureHandling:
+    # uses the shared `failing_workload` fixture from tests/conftest.py
+
+    def _mixed_grid_file(self, tmp_path, failing_workload):
+        from repro.sweep import ScenarioGrid, ScenarioSpec
+
+        grid = ScenarioGrid([
+            ScenarioSpec(workload="memcached", config="baseline", qps=20_000,
+                         horizon=0.02, seed=7),
+            ScenarioSpec(workload=failing_workload, config="baseline", qps=20_000,
+                         horizon=0.02, seed=7),
+            ScenarioSpec(workload="memcached", config="AW", qps=20_000,
+                         horizon=0.02, seed=7),
+        ])
+        grid_file = tmp_path / "grid.jsonl"
+        with open(grid_file, "w") as handle:
+            for record in grid.to_dicts():
+                handle.write(json.dumps(record) + "\n")
+        return grid_file
+
+    def test_skip_policy_completes_and_reports_failure(
+        self, tmp_path, capsys, failing_workload
+    ):
+        grid_file = self._mixed_grid_file(tmp_path, failing_workload)
+        out_file = tmp_path / "points.jsonl"
+        code = main([
+            "sweep", "--grid", str(grid_file), "--on-error", "skip",
+            "--no-cache", "-o", str(out_file),
+        ])
+        assert code == EXIT_ERROR  # completed, but with a failure
+        with open(out_file) as handle:
+            records = [json.loads(line) for line in handle]
+        # skip: only the surviving points appear in the output...
+        assert [r["config"] for r in records] == ["baseline", "AW"]
+        assert all(r["completed"] > 0 for r in records)
+        # ...but the failure is recorded on stderr, never silent
+        err = capsys.readouterr().err
+        assert "kaboom" in err
+        assert "1 of 3" in err
+
+    def test_record_policy_keeps_inline_error_records(
+        self, tmp_path, capsys, failing_workload
+    ):
+        grid_file = self._mixed_grid_file(tmp_path, failing_workload)
+        out_file = tmp_path / "points.jsonl"
+        code = main([
+            "sweep", "--grid", str(grid_file), "--on-error", "record",
+            "--no-cache", "-o", str(out_file),
+        ])
+        assert code == EXIT_ERROR
+        with open(out_file) as handle:
+            records = [json.loads(line) for line in handle]
+        assert len(records) == 3
+        assert records[0]["completed"] > 0
+        assert "kaboom" in records[1]["error"]
+        assert records[2]["completed"] > 0
+
+    def test_record_policy_includes_error_text(
+        self, tmp_path, capsys, failing_workload
+    ):
+        grid_file = self._mixed_grid_file(tmp_path, failing_workload)
+        code = main([
+            "sweep", "--grid", str(grid_file), "--on-error", "record",
+            "--no-cache",
+        ])
+        assert code == EXIT_ERROR
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "kaboom" in out
+
+    def test_raise_policy_aborts(self, tmp_path, capsys, failing_workload):
+        grid_file = self._mixed_grid_file(tmp_path, failing_workload)
+        with pytest.raises(RuntimeError, match="kaboom"):
+            main(["sweep", "--grid", str(grid_file), "--no-cache"])

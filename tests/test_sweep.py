@@ -1,14 +1,26 @@
 """Tests for the scenario/sweep subsystem (repro.sweep)."""
 
+import multiprocessing
+
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.sweep import (
+    FailurePolicy,
+    PointFailure,
     ProcessExecutor,
     ScenarioGrid,
     ScenarioSpec,
     SweepRunner,
     result_record,
+)
+
+#: Dynamically-registered factories reach pool workers only when workers
+#: inherit parent memory (fork); skip those tests elsewhere.
+#: (The shared `failing_workload` fixture lives in tests/conftest.py.)
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="needs fork start method (workers must inherit test registrations)",
 )
 
 
@@ -177,6 +189,22 @@ class TestSweepRunner:
         runner.run(_spec())
         assert "1 to simulate" in messages[0]
         assert "0 to simulate" in messages[1]
+        assert "1 memoised" in messages[1]
+
+    def test_log_hook_counts_duplicates_separately(self):
+        # Duplicate uncached specs must not be reported as cache hits.
+        messages = []
+        runner = SweepRunner(cache={}, log=messages.append)
+        a, b = _spec(seed=1), _spec(seed=2)
+        runner.run_many([a, a, a, b])
+        assert "4 points" in messages[0]
+        assert "2 to simulate" in messages[0]
+        assert "0 memoised" in messages[0]
+        assert "2 duplicate" in messages[0]
+        runner.run_many([a, a, b])
+        assert "0 to simulate" in messages[1]
+        assert "2 memoised" in messages[1]
+        assert "1 duplicate" in messages[1]
 
     def test_unknown_executor_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -205,6 +233,315 @@ class TestSweepRunner:
         assert "avg_core_power" in text
         assert record["workload"] == "memcached"
         assert record["completed"] > 0
+
+
+class TestFailurePolicy:
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FailurePolicy(mode="explode")
+        with pytest.raises(ConfigurationError):
+            FailurePolicy(timeout=0)
+        with pytest.raises(ConfigurationError):
+            FailurePolicy(retries=-1)
+
+    def test_serial_raise_is_default(self, failing_workload):
+        runner = SweepRunner(cache={})
+        with pytest.raises(RuntimeError, match="kaboom"):
+            runner.run(_spec(workload=failing_workload))
+
+    def test_serial_raise_keeps_completed_results(self, failing_workload):
+        good, bad = _spec(), _spec(workload=failing_workload)
+        runner = SweepRunner(cache={})
+        with pytest.raises(RuntimeError):
+            runner.run_many([good, bad])
+        # the point that finished before the failure is cached
+        assert good.cache_key in runner.cache
+
+    def test_serial_skip_drops_failed_point(self, failing_workload):
+        good, bad = _spec(), _spec(workload=failing_workload)
+        runner = SweepRunner(cache={}, policy=FailurePolicy(mode="skip"))
+        results = runner.run_many([good, bad, good])
+        assert results[0].completed > 0
+        assert results[1] is None
+        assert results[2] is results[0]
+        assert bad.cache_key in runner.last_failures
+        assert "kaboom" in runner.last_failures[bad.cache_key].error
+
+    def test_serial_record_returns_point_failure(self, failing_workload):
+        bad = _spec(workload=failing_workload)
+        runner = SweepRunner(
+            cache={}, policy=FailurePolicy(mode="record", retries=2)
+        )
+        results = runner.run_many([bad])
+        assert isinstance(results[0], PointFailure)
+        assert results[0].attempts == 3  # 1 try + 2 retries
+        assert "kaboom" in results[0].error
+
+    def test_failures_are_not_cached(self, failing_workload):
+        bad = _spec(workload=failing_workload)
+        runner = SweepRunner(cache={}, policy=FailurePolicy(mode="skip"))
+        runner.run_many([bad])
+        assert bad.cache_key not in runner.cache
+
+    def test_progress_counts_failures(self, failing_workload):
+        events = []
+        runner = SweepRunner(
+            cache={},
+            policy=FailurePolicy(mode="skip"),
+            progress=lambda d, t, s: events.append((d, t)),
+        )
+        runner.run_many([_spec(seed=1), _spec(workload=failing_workload)])
+        assert events == [(1, 2), (2, 2)]
+
+    @fork_only
+    def test_process_skip_completes_remaining_points(self, failing_workload):
+        good_a, bad, good_b = _spec(seed=1), _spec(workload=failing_workload), _spec(seed=2)
+        runner = SweepRunner(
+            executor="process", jobs=2, cache={},
+            policy=FailurePolicy(mode="skip"),
+        )
+        results = runner.run_many([good_a, bad, good_b])
+        assert results[0].completed > 0
+        assert results[1] is None
+        assert results[2].completed > 0
+        assert len(runner.last_failures) == 1
+
+    @fork_only
+    def test_process_record_with_retries(self, failing_workload):
+        bad = _spec(workload=failing_workload)
+        runner = SweepRunner(
+            executor="process", jobs=2, cache={},
+            policy=FailurePolicy(mode="record", retries=1),
+        )
+        results = runner.run_many([bad, _spec(seed=3)])
+        assert isinstance(results[0], PointFailure)
+        assert results[0].attempts == 2
+        assert results[1].completed > 0
+
+    @fork_only
+    def test_process_raise_delivers_completed_results(self, failing_workload):
+        # One worker processes sequentially, so the good point completes
+        # (and must be cached) before the bad one aborts the sweep.
+        good, bad = _spec(seed=4), _spec(workload=failing_workload)
+        runner = SweepRunner(executor="process", jobs=1, cache={})
+        with pytest.raises(RuntimeError, match="kaboom"):
+            runner.run_many([good, bad])
+        assert good.cache_key in runner.cache
+
+    @fork_only
+    def test_process_timeout_is_a_failure(self):
+        from repro.sweep.spec import WORKLOAD_FACTORIES, register_workload
+        from repro.workloads import memcached_workload
+
+        def sleepy():
+            import time
+
+            time.sleep(1.5)
+            return memcached_workload()
+
+        register_workload("sleepy", sleepy)
+        try:
+            runner = SweepRunner(
+                executor="process", jobs=2, cache={},
+                policy=FailurePolicy(mode="record", timeout=0.2),
+            )
+            results = runner.run_many([_spec(workload="sleepy"), _spec(seed=5)])
+            assert isinstance(results[0], PointFailure)
+            assert "TimeoutError" in results[0].error
+            assert results[1].completed > 0
+        finally:
+            del WORKLOAD_FACTORIES["sleepy"]
+
+    @fork_only
+    def test_timeout_budget_excludes_queue_wait(self):
+        # jobs=1, a ~3s hog with a 0.5s budget, then a fast point: the
+        # hog must time out but the fast point — which waits for the
+        # occupied worker before it is ever submitted — must succeed.
+        # Its budget may not tick while the hog holds the only worker.
+        from repro.sweep.spec import WORKLOAD_FACTORIES, register_workload
+        from repro.workloads import memcached_workload
+
+        def hog():
+            import time
+
+            time.sleep(3.0)
+            return memcached_workload()
+
+        register_workload("hog", hog)
+        try:
+            runner = SweepRunner(
+                executor="process", jobs=1, cache={},
+                policy=FailurePolicy(mode="record", timeout=0.5),
+            )
+            results = runner.run_many(
+                [_spec(workload="hog"), _spec(seed=6)]
+            )
+            assert isinstance(results[0], PointFailure)
+            assert "TimeoutError" in results[0].error
+            assert not isinstance(results[1], PointFailure)
+            assert results[1].completed > 0
+        finally:
+            del WORKLOAD_FACTORIES["hog"]
+
+    def test_timeout_error_is_a_repro_error(self):
+        # cmd_sweep catches ReproError in raise mode; a timeout abort must
+        # surface as a clean CLI error, not a raw TimeoutError traceback.
+        from repro.errors import PointTimeoutError, ReproError
+
+        assert issubclass(PointTimeoutError, ReproError)
+        assert "TimeoutError" in PointTimeoutError.__name__
+
+    @fork_only
+    def test_single_spec_with_timeout_uses_the_pool(self):
+        # The 1-point inline fast path cannot enforce a timeout, so it
+        # must be bypassed when one is set.
+        from repro.sweep.spec import WORKLOAD_FACTORIES, register_workload
+        from repro.workloads import memcached_workload
+
+        def sleepy():
+            import time
+
+            time.sleep(1.5)
+            return memcached_workload()
+
+        register_workload("sleepy1", sleepy)
+        try:
+            runner = SweepRunner(
+                executor="process", jobs=2, cache={},
+                policy=FailurePolicy(mode="record", timeout=0.2),
+            )
+            results = runner.run_many([_spec(workload="sleepy1")])
+            assert isinstance(results[0], PointFailure)
+            assert "TimeoutError" in results[0].error
+        finally:
+            del WORKLOAD_FACTORIES["sleepy1"]
+
+    def test_executor_string_with_policy(self):
+        runner = SweepRunner(executor="process", jobs=2, policy=FailurePolicy(mode="skip"))
+        assert runner.executor.policy.mode == "skip"
+        runner = SweepRunner(policy=FailurePolicy(retries=3))
+        assert runner.executor.policy.retries == 3
+
+
+class TestWorkerRegistryCheck:
+    def test_dynamic_names_detected(self, failing_workload):
+        from repro.sweep.runner import _check_worker_registries, find_unregistered
+
+        specs = [_spec(workload=failing_workload), _spec()]
+        workloads, governors = find_unregistered(specs)
+        assert workloads == [failing_workload]
+        assert governors == []
+        with pytest.raises(ConfigurationError, match="import time"):
+            _check_worker_registries(specs, start_method="spawn")
+        # fork workers inherit the registration: no error
+        _check_worker_registries(specs, start_method="fork")
+
+    def test_dynamic_governor_detected(self):
+        from repro.governor.idle import MenuGovernor
+        from repro.sweep.runner import _check_worker_registries
+        from repro.sweep.spec import GOVERNOR_FACTORIES, register_governor
+
+        register_governor("temp_gov", MenuGovernor)
+        try:
+            spec = _spec(governor="temp_gov")
+            with pytest.raises(ConfigurationError, match="temp_gov"):
+                _check_worker_registries([spec], start_method="spawn")
+        finally:
+            del GOVERNOR_FACTORIES["temp_gov"]
+
+    def test_import_time_names_pass_everywhere(self):
+        from repro.sweep.runner import _check_worker_registries
+
+        specs = [_spec(), _spec(governor="oracle"), _spec(governor="c1_only")]
+        _check_worker_registries(specs, start_method="spawn")
+        _check_worker_registries(specs, start_method="fork")
+
+    def test_overridden_builtin_detected(self):
+        # Re-registering a built-in name must be caught too: spawn workers
+        # would silently fall back to the import-time factory.
+        from repro.sweep.runner import _check_worker_registries, find_unregistered
+        from repro.sweep.spec import WORKLOAD_FACTORIES, register_workload
+        from repro.workloads import memcached_workload
+
+        original = WORKLOAD_FACTORIES["memcached"]
+        register_workload("memcached", lambda: memcached_workload())
+        try:
+            workloads, _ = find_unregistered([_spec()])
+            assert workloads == ["memcached"]
+            with pytest.raises(ConfigurationError, match="overridden"):
+                _check_worker_registries([_spec()], start_method="spawn")
+        finally:
+            WORKLOAD_FACTORIES["memcached"] = original
+        assert find_unregistered([_spec()]) == ([], [])
+
+
+class TestOracleGovernor:
+    def test_oracle_registered_at_import_time(self):
+        from repro.sweep.spec import GOVERNOR_FACTORIES, IMPORT_TIME_GOVERNORS
+
+        assert "oracle" in GOVERNOR_FACTORIES
+        assert "oracle" in IMPORT_TIME_GOVERNORS
+
+    def test_oracle_spec_executes(self):
+        result = SweepRunner(cache={}).run(_spec(governor="oracle"))
+        assert result.completed > 0
+
+    def test_governor_axis_changes_results(self):
+        menu = SweepRunner(cache={}).run(_spec(config="NT_Baseline"))
+        c1 = SweepRunner(cache={}).run(_spec(config="NT_Baseline", governor="c1_only"))
+        assert c1.avg_core_power != menu.avg_core_power
+
+
+class TestProgressRenderer:
+    class _TtyBuffer:
+        def __init__(self):
+            self.chunks = []
+
+        def write(self, text):
+            self.chunks.append(text)
+
+        def flush(self):
+            pass
+
+        def isatty(self):
+            return True
+
+    def test_tty_meter_blots_out_longer_previous_line(self):
+        from repro.sweep import ProgressRenderer
+
+        stream = self._TtyBuffer()
+        renderer = ProgressRenderer(label="sweep", stream=stream)
+        long_spec = ScenarioSpec(
+            workload="memcached", config="NT_Baseline", qps=1_000_000,
+            horizon=0.02, seed=7,
+        )
+        short_spec = _spec()
+        renderer(1, 3, long_spec)
+        first = stream.chunks[-1]
+        renderer(2, 3, short_spec)
+        second = stream.chunks[-1]
+        # the shorter line is space-padded to fully cover the longer one
+        assert len(second) == len(first)
+        assert second.endswith("  ")
+        assert second.startswith("\r")
+        # final tick terminates the line
+        renderer(3, 3, short_spec)
+        assert stream.chunks[-1] == "\n"
+
+    def test_non_tty_prints_plain_lines(self):
+        import io
+
+        from repro.sweep import ProgressRenderer
+
+        stream = io.StringIO()
+        renderer = ProgressRenderer(label="run", stream=stream)
+        renderer(1, 2, _spec())
+        renderer(2, 2, _spec())
+        lines = stream.getvalue().splitlines()
+        assert lines == [
+            "run: [1/2] memcached/baseline @ 20K QPS",
+            "run: [2/2] memcached/baseline @ 20K QPS",
+        ]
 
 
 class TestCommonShims:
