@@ -5,16 +5,27 @@ Usage::
     python -m repro list                 # available experiments
     python -m repro run table3           # one experiment to stdout
     python -m repro run fig8 fig10       # several
-    python -m repro run --all            # everything
+    python -m repro run --all            # everything, one batched sweep
     python -m repro run --all --jobs 4   # everything, 4 worker processes
-    python -m repro run --all -o results # everything, one file per id
+    python -m repro run --all --format jsonl --out results   # structured
+    python -m repro run --all --quick    # reduced grids (CI smoke)
     python -m repro sweep --config baseline AW --kqps 10 100 500 --jobs 4
     python -m repro sweep --grid grid.jsonl --on-error skip -o out.jsonl
+    python -m repro cache stats          # result-store hygiene
+
+Experiments come from the declarative registry
+(:mod:`repro.experiments.api`): ``run`` collects the union of every
+selected experiment's scenario grid, executes it as *one* deduplicated
+batched sweep (shared points — Fig 10 ⊇ Fig 9, Table 5 ⊇ Fig 8 — are
+simulated once process-wide), then analyzes and renders each experiment
+from the shared result map. ``--format`` selects table (default), json,
+jsonl or csv output; ``--out DIR`` writes one file per experiment.
 
 Simulated points persist in an on-disk result store (``--cache-dir``,
 ``$REPRO_CACHE_DIR``, default ``~/.cache/repro``), so repeated
 invocations only simulate what the store has not seen for the current
-code version. ``--no-cache`` disables it.
+code version. ``--no-cache`` disables it; ``repro cache`` inspects,
+prunes or clears it.
 
 Exit codes: 0 on success, 1 on simulation/configuration errors (including
 sweeps that completed with skipped/recorded point failures), 2 on usage
@@ -25,14 +36,20 @@ from __future__ import annotations
 
 import argparse
 import contextlib
-import importlib
-import io
 import json
 import os
 import sys
 from typing import Iterator, List, Optional
 
 from repro.errors import ReproError
+from repro.experiments.api import (
+    FORMATS,
+    experiment_ids,
+    get_experiment,
+    output_extension,
+    render,
+    run_experiments,
+)
 from repro.experiments.common import format_table
 from repro.store import ResultStore
 from repro.sweep import (
@@ -46,6 +63,7 @@ from repro.sweep import (
     result_record,
     set_default_runner,
 )
+from repro.sweep.runner import EMIT_LEVELS
 from repro.sweep.spec import (
     DEFAULT_CORES,
     DEFAULT_HORIZON,
@@ -59,38 +77,9 @@ EXIT_OK = 0
 EXIT_ERROR = 1
 EXIT_USAGE = 2
 
-#: Experiment ids in a sensible reading order.
-EXPERIMENT_IDS: List[str] = [
-    "table1",
-    "table2",
-    "table3",
-    "table4",
-    "motivation",
-    "latency_breakdown",
-    "validation",
-    "snoop",
-    "fig8",
-    "fig9",
-    "fig10",
-    "fig11",
-    "fig12",
-    "fig13",
-    "table5",
-    "ablation",
-    "governor_study",
-    "proportionality",
-    "sensitivity",
-]
-
-
-def _load(experiment_id: str):
-    if experiment_id not in EXPERIMENT_IDS:
-        print(
-            f"unknown experiment {experiment_id!r}; run `python -m repro list`",
-            file=sys.stderr,
-        )
-        raise SystemExit(EXIT_USAGE)
-    return importlib.import_module(f"repro.experiments.{experiment_id}")
+#: Experiment ids in registry (reading) order. Kept as a module-level
+#: list for backwards compatibility; the registry is the source of truth.
+EXPERIMENT_IDS: List[str] = experiment_ids()
 
 
 def _make_store(no_cache: bool, cache_dir: Optional[str]) -> Optional[ResultStore]:
@@ -141,11 +130,9 @@ def _configured_runner(
 
 def cmd_list() -> int:
     """Print the experiment ids with their one-line descriptions."""
-    for experiment_id in EXPERIMENT_IDS:
-        module = _load(experiment_id)
-        doc = (module.__doc__ or "").strip().splitlines()
-        summary = doc[0] if doc else ""
-        print(f"  {experiment_id:<18} {summary}")
+    for experiment_id in experiment_ids():
+        experiment = get_experiment(experiment_id)
+        print(f"  {experiment_id:<18} {experiment.title}")
     return EXIT_OK
 
 
@@ -156,13 +143,16 @@ def cmd_run(
     jobs: Optional[int] = None,
     no_cache: bool = False,
     cache_dir: Optional[str] = None,
+    fmt: str = "table",
+    quick: bool = False,
 ) -> int:
-    """Run experiments, printing to stdout or one file per id."""
-    targets = EXPERIMENT_IDS if run_all else ids
+    """Run experiments through one batched sweep; print or write files."""
+    known = experiment_ids()
+    targets = known if run_all else ids
     if not targets:
         print("nothing to run: name experiments or pass --all", file=sys.stderr)
         return EXIT_USAGE
-    unknown = [i for i in targets if i not in EXPERIMENT_IDS]
+    unknown = [i for i in targets if i not in known]
     if unknown:
         print(
             f"unknown experiment(s) {', '.join(map(repr, unknown))}; "
@@ -170,24 +160,38 @@ def cmd_run(
             file=sys.stderr,
         )
         return EXIT_USAGE
+    experiments = [get_experiment(experiment_id) for experiment_id in targets]
+    if quick:
+        experiments = [experiment.quick() for experiment in experiments]
     progress = None
     if jobs is not None and jobs > 1:
         progress = ProgressRenderer(label="run")
-    with _configured_runner(jobs, no_cache, cache_dir, progress=progress):
-        for experiment_id in targets:
-            module = _load(experiment_id)
-            if output_dir:
-                os.makedirs(output_dir, exist_ok=True)
-                path = os.path.join(output_dir, f"{experiment_id}.txt")
-                buffer = io.StringIO()
-                with contextlib.redirect_stdout(buffer):
-                    module.main()
-                with open(path, "w") as handle:
-                    handle.write(buffer.getvalue())
-                print(f"wrote {path}")
-            else:
-                print(f"\n{'=' * 72}\n{experiment_id}\n{'=' * 72}")
-                module.main()
+    with _configured_runner(jobs, no_cache, cache_dir, progress=progress) as runner:
+        # One deduplicated batched sweep for the union of all grids:
+        # shared points (Fig 10 ⊇ Fig 9, Table 5 ⊇ Fig 8) simulate once.
+        results = run_experiments(experiments, runner=runner)
+
+    json_envelopes = []
+    for experiment in experiments:
+        result = results[experiment.id]
+        if output_dir:
+            os.makedirs(output_dir, exist_ok=True)
+            path = os.path.join(
+                output_dir, f"{experiment.id}.{output_extension(fmt)}"
+            )
+            with open(path, "w") as handle:
+                handle.write(render(experiment, result, fmt) + "\n")
+            print(f"wrote {path}")
+        elif fmt == "table":
+            print(f"\n{'=' * 72}\n{experiment.id}\n{'=' * 72}")
+            print(render(experiment, result, fmt))
+        elif fmt == "json":
+            # Collected into one parseable JSON array below.
+            json_envelopes.append(result.to_json_dict())
+        else:
+            print(render(experiment, result, fmt))
+    if json_envelopes:
+        print(json.dumps(json_envelopes, indent=2))
     return EXIT_OK
 
 
@@ -319,7 +323,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             if policy.mode == "record":
                 records.append(failure_record(spec, failure))
         else:
-            records.append(result_record(spec, result))
+            records.append(result_record(spec, result, emit=args.emit))
     if n_failed:
         print(
             f"sweep: {n_failed} of {len(grid)} point(s) failed "
@@ -365,6 +369,36 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return EXIT_ERROR if n_failed else EXIT_OK
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Result-store hygiene: stats, prune stale salts, clear everything."""
+    import sqlite3
+
+    try:
+        store = ResultStore(args.cache_dir)
+    except (OSError, sqlite3.Error) as exc:
+        print(f"cannot open result store: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    try:
+        if args.action == "stats":
+            print(f"store:           {store.path}")
+            print(f"code salt:       {store.salt}")
+            print(f"current records: {len(store)}")
+            print(f"stale records:   {store.stale_records()} (other code versions)")
+            print(f"total records:   {store.total_records()}")
+            print(f"size on disk:    {store.size_bytes()} bytes")
+        elif args.action == "prune":
+            removed = store.prune_stale()
+            print(f"pruned {removed} stale record(s) from {store.path}")
+        else:  # clear
+            total = store.total_records()
+            store.clear()
+            print(f"cleared {total} record(s) from {store.path}")
+    except sqlite3.Error as exc:
+        print(f"result store error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    return EXIT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -383,10 +417,21 @@ def build_parser() -> argparse.ArgumentParser:
             help="result store location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
         )
 
-    run = sub.add_parser("run", help="run experiments")
+    run = sub.add_parser("run", help="run experiments (one batched sweep)")
     run.add_argument("ids", nargs="*", help="experiment ids (see `list`)")
     run.add_argument("--all", action="store_true", help="run everything")
-    run.add_argument("-o", "--output-dir", help="write one .txt per experiment")
+    run.add_argument(
+        "-f", "--format", choices=list(FORMATS), default="table", dest="format",
+        help="output format: human tables (default) or structured records",
+    )
+    run.add_argument(
+        "-o", "--out", "--output-dir", dest="output_dir", metavar="DIR",
+        help="write one file per experiment (.txt/.json/.jsonl/.csv by format)",
+    )
+    run.add_argument(
+        "--quick", action="store_true",
+        help="reduced grids (one light rate, short horizon) for smoke runs",
+    )
     run.add_argument(
         "-j", "--jobs", type=int, metavar="N",
         help="simulate sweep points over N worker processes (with progress meter)",
@@ -437,6 +482,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulate points over N worker processes",
     )
     sweep.add_argument(
+        "--emit", choices=list(EMIT_LEVELS), default="headline",
+        help="per-point record detail: headline metrics only (default), or "
+             "residency (adds C-state residency and transition-rate dicts)",
+    )
+    sweep.add_argument(
         "--on-error", choices=["raise", "skip", "record"], default="raise",
         help="per-point failure mode: abort the sweep (raise), omit the "
              "point from the output (skip), or keep an inline error record "
@@ -460,6 +510,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="write one JSON record per point (JSONL) instead of a table",
     )
     add_cache_flags(sweep)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clean the persistent result store"
+    )
+    cache.add_argument(
+        "action", choices=["stats", "prune", "clear"],
+        help="stats: show counts/size; prune: drop records from other code "
+             "versions; clear: drop everything",
+    )
+    cache.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="result store location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
     return parser
 
 
@@ -469,9 +532,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_list()
     if args.command == "sweep":
         return cmd_sweep(args)
+    if args.command == "cache":
+        return cmd_cache(args)
     return cmd_run(
         args.ids, args.all, args.output_dir, args.jobs,
         no_cache=args.no_cache, cache_dir=args.cache_dir,
+        fmt=args.format, quick=args.quick,
     )
 
 

@@ -11,40 +11,78 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.ablation import AblatedVariant, AblationStudy
+from repro.experiments.api import Experiment, ExperimentResult, register_experiment
 from repro.experiments.common import format_table
 from repro.units import pretty_power, pretty_time
 
 
+@register_experiment
+class AblationExperiment(Experiment):
+    id = "ablation"
+    title = "Ablation experiment: what each of AW's three ideas buys."
+    artifact = "extension"
+
+    def analyze(self, results=None) -> ExperimentResult:
+        study = AblationStudy()
+        variants = study.variants()
+        full = variants[0]
+        records = []
+        for v in variants:
+            records.append(
+                {
+                    "section": "variants",
+                    "variant": v.name,
+                    "entry_seconds": v.entry_latency,
+                    "exit_seconds": v.exit_latency,
+                    "round_trip_seconds": v.round_trip,
+                    "slowdown_vs_full": 1.0 if v is full else v.slowdown_vs(full),
+                    "idle_power_w": v.idle_power,
+                }
+            )
+        for idea, saved in study.latency_contributions().items():
+            records.append(
+                {"section": "contributions", "idea": idea,
+                 "round_trip_saved_seconds": saved}
+            )
+        return self.make_result(records=records, payload=variants)
+
+    def render_text(self, result: ExperimentResult) -> str:
+        # Re-derive the study for the contribution lines; variants are the
+        # payload so the shim's return type is unchanged.
+        study = AblationStudy()
+        variants = result.payload
+        full = variants[0]
+        lines = ["Ablation: removing each AW idea from the C6A design"]
+        rows = []
+        for v in variants:
+            rows.append(
+                [
+                    v.name,
+                    pretty_time(v.entry_latency),
+                    pretty_time(v.exit_latency),
+                    pretty_time(v.round_trip),
+                    f"{v.slowdown_vs(full):,.0f}x" if v is not full else "1x",
+                    pretty_power(v.idle_power),
+                ]
+            )
+        lines.append(format_table(
+            ["Variant", "Entry", "Exit", "Round trip", "vs full", "Idle power"], rows
+        ))
+        lines.append("")
+        lines.append("Round-trip latency saved by each idea:")
+        for idea, saved in study.latency_contributions().items():
+            lines.append(f"  {idea}: {pretty_time(saved)}")
+        return "\n".join(lines)
+
+
 def run() -> List[AblatedVariant]:
-    """All ablation variants for the default design point."""
-    return AblationStudy().variants()
+    """Deprecated shim over :class:`AblationExperiment`."""
+    return AblationExperiment().analyze().payload
 
 
 def main() -> None:
-    study = AblationStudy()
-    variants = study.variants()
-    full = variants[0]
-
-    print("Ablation: removing each AW idea from the C6A design")
-    rows = []
-    for v in variants:
-        rows.append(
-            [
-                v.name,
-                pretty_time(v.entry_latency),
-                pretty_time(v.exit_latency),
-                pretty_time(v.round_trip),
-                f"{v.slowdown_vs(full):,.0f}x" if v is not full else "1x",
-                pretty_power(v.idle_power),
-            ]
-        )
-    print(format_table(
-        ["Variant", "Entry", "Exit", "Round trip", "vs full", "Idle power"], rows
-    ))
-
-    print("\nRound-trip latency saved by each idea:")
-    for idea, saved in study.latency_contributions().items():
-        print(f"  {idea}: {pretty_time(saved)}")
+    experiment = AblationExperiment()
+    print(experiment.render_text(experiment.analyze()))
 
 
 if __name__ == "__main__":

@@ -14,19 +14,25 @@ configs by up to ~5%/~26% avg/tail and trails NT_No_C6_No_C1E by < 1%).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.experiments.api import (
+    Experiment,
+    ExperimentResult,
+    ResultMap,
+    SweepParams,
+    register_experiment,
+)
 from repro.experiments.common import (
     DEFAULT_CORES,
     DEFAULT_HORIZON,
     DEFAULT_SEED,
     format_table,
     pct,
-    prefetch_points,
-    run_point,
 )
 from repro.experiments.fig9 import TUNED_CONFIGS
 from repro.server.metrics import RunResult, compare_power
+from repro.sweep import ScenarioGrid, ScenarioSpec
 from repro.workloads.memcached import MEMCACHED_RATES_KQPS
 
 #: The AW configuration matched against the no-Turbo tuned configs. The
@@ -61,44 +67,121 @@ class Fig10Point:
     tail_latency_reduction: Dict[str, float]
 
 
+@dataclass(frozen=True)
+class Fig10Params(SweepParams):
+    """Fig 10 sweep knobs; ``rates_kqps=None`` uses the paper's sweep."""
+
+    default_rates = tuple(MEMCACHED_RATES_KQPS)
+
+
+@register_experiment
+class Fig10Experiment(Experiment):
+    id = "fig10"
+    title = "Fig 10: AW's power and latency reduction over the tuned configurations."
+    artifact = "Figure 10"
+    Params = Fig10Params
+
+    def _spec(self, config: str, kqps: float) -> ScenarioSpec:
+        p = self.params
+        return ScenarioSpec(
+            workload="memcached", config=config, qps=kqps * 1000.0,
+            horizon=p.horizon, cores=p.cores, seed=p.seed,
+        )
+
+    def grid(self) -> ScenarioGrid:
+        # Superset of Fig 9's grid at equal params: the tuned baselines
+        # are shared, so a batched cross-experiment run simulates them
+        # once for both figures.
+        return ScenarioGrid([
+            self._spec(config, kqps)
+            for config in [AW_CONFIG] + TUNED_CONFIGS
+            for kqps in self.params.resolved_rates()
+        ])
+
+    def analyze(self, results: Optional[ResultMap] = None) -> ExperimentResult:
+        points: List[Fig10Point] = []
+        for kqps in self.params.resolved_rates():
+            qps = kqps * 1000.0
+            aw = self.point(results, self._spec(AW_CONFIG, kqps))
+            power: Dict[str, float] = {}
+            avg_lat: Dict[str, float] = {}
+            tail_lat: Dict[str, float] = {}
+            for config in TUNED_CONFIGS:
+                base = self.point(results, self._spec(config, kqps))
+                power[config] = compare_power(base, aw)
+                avg_lat[config] = _e2e_latency_reduction(base, aw, tail=False)
+                tail_lat[config] = _e2e_latency_reduction(base, aw, tail=True)
+            points.append(
+                Fig10Point(
+                    qps=qps,
+                    aw=aw,
+                    power_reduction=power,
+                    avg_latency_reduction=avg_lat,
+                    tail_latency_reduction=tail_lat,
+                )
+            )
+        records = [
+            {
+                "qps": point.qps,
+                "aw_config": AW_CONFIG,
+                "power_reduction": point.power_reduction,
+                "avg_latency_reduction": point.avg_latency_reduction,
+                "tail_latency_reduction": point.tail_latency_reduction,
+                "aw": point.aw.to_record(),
+            }
+            for point in points
+        ]
+        notes = [
+            f"peak power reduction: {pct(peak_power_reduction(points))} "
+            "(paper: up to ~71%)"
+        ]
+        return self.make_result(records=records, payload=points, notes=notes)
+
+    def render_text(self, result: ExperimentResult) -> str:
+        points: List[Fig10Point] = result.payload
+        lines = ["Fig 10: AW (no Turbo) vs tuned configurations"]
+        rows = []
+        for p in points:
+            rows.append(
+                [f"{p.qps / 1000:.0f}K"]
+                + [pct(p.power_reduction[c]) for c in TUNED_CONFIGS]
+                + [pct(p.avg_latency_reduction[c]) for c in TUNED_CONFIGS]
+                + [pct(p.tail_latency_reduction[c]) for c in TUNED_CONFIGS]
+            )
+        avgs = average_power_reduction(points)
+        rows.append(["Avg"] + [pct(avgs[c]) for c in TUNED_CONFIGS] + [""] * 6)
+        headers = (
+            ["QPS"]
+            + [f"dP {c}" for c in TUNED_CONFIGS]
+            + [f"dAvgLat {c}" for c in TUNED_CONFIGS]
+            + [f"dTailLat {c}" for c in TUNED_CONFIGS]
+        )
+        lines.append(format_table(headers, rows))
+        lines.append("")
+        lines.append(
+            f"peak power reduction: {pct(peak_power_reduction(points))} "
+            "(paper: up to ~71%)"
+        )
+        return "\n".join(lines)
+
+    def quick_params(self) -> Fig10Params:
+        return Fig10Params.quick()
+
+
 def run(
     rates_kqps: Sequence[float] = None,
     horizon: float = DEFAULT_HORIZON,
     cores: int = DEFAULT_CORES,
     seed: int = DEFAULT_SEED,
 ) -> List[Fig10Point]:
-    """Regenerate the Fig 10 comparison series."""
-    rates_kqps = rates_kqps if rates_kqps is not None else MEMCACHED_RATES_KQPS
-    prefetch_points(
-        [
-            ("memcached", config, kqps * 1000.0)
-            for config in [AW_CONFIG] + TUNED_CONFIGS
-            for kqps in rates_kqps
-        ],
-        horizon, cores, seed,
-    )
-    points: List[Fig10Point] = []
-    for kqps in rates_kqps:
-        qps = kqps * 1000.0
-        aw = run_point("memcached", AW_CONFIG, qps, horizon, cores, seed)
-        power: Dict[str, float] = {}
-        avg_lat: Dict[str, float] = {}
-        tail_lat: Dict[str, float] = {}
-        for config in TUNED_CONFIGS:
-            base = run_point("memcached", config, qps, horizon, cores, seed)
-            power[config] = compare_power(base, aw)
-            avg_lat[config] = _e2e_latency_reduction(base, aw, tail=False)
-            tail_lat[config] = _e2e_latency_reduction(base, aw, tail=True)
-        points.append(
-            Fig10Point(
-                qps=qps,
-                aw=aw,
-                power_reduction=power,
-                avg_latency_reduction=avg_lat,
-                tail_latency_reduction=tail_lat,
-            )
+    """Deprecated shim over :class:`Fig10Experiment`."""
+    experiment = Fig10Experiment(
+        Fig10Params(
+            rates_kqps=None if rates_kqps is None else tuple(rates_kqps),
+            horizon=horizon, cores=cores, seed=seed,
         )
-    return points
+    )
+    return experiment.execute().payload
 
 
 def average_power_reduction(points: Sequence[Fig10Point]) -> Dict[str, float]:
@@ -115,26 +198,8 @@ def peak_power_reduction(points: Sequence[Fig10Point]) -> float:
 
 
 def main() -> None:
-    points = run()
-    print("Fig 10: AW (no Turbo) vs tuned configurations")
-    rows = []
-    for p in points:
-        rows.append(
-            [f"{p.qps / 1000:.0f}K"]
-            + [pct(p.power_reduction[c]) for c in TUNED_CONFIGS]
-            + [pct(p.avg_latency_reduction[c]) for c in TUNED_CONFIGS]
-            + [pct(p.tail_latency_reduction[c]) for c in TUNED_CONFIGS]
-        )
-    avgs = average_power_reduction(points)
-    rows.append(["Avg"] + [pct(avgs[c]) for c in TUNED_CONFIGS] + [""] * 6)
-    headers = (
-        ["QPS"]
-        + [f"dP {c}" for c in TUNED_CONFIGS]
-        + [f"dAvgLat {c}" for c in TUNED_CONFIGS]
-        + [f"dTailLat {c}" for c in TUNED_CONFIGS]
-    )
-    print(format_table(headers, rows))
-    print(f"\npeak power reduction: {pct(peak_power_reduction(points))} (paper: up to ~71%)")
+    experiment = Fig10Experiment()
+    print(experiment.render_text(experiment.execute()))
 
 
 if __name__ == "__main__":

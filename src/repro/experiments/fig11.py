@@ -20,17 +20,23 @@ Expected observations (Sec 7.3):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.experiments.api import (
+    Experiment,
+    ExperimentResult,
+    ResultMap,
+    SweepParams,
+    register_experiment,
+)
 from repro.experiments.common import (
     DEFAULT_CORES,
     DEFAULT_HORIZON,
     DEFAULT_SEED,
     format_table,
-    prefetch_points,
-    run_point,
 )
 from repro.server import RunResult
+from repro.sweep import ScenarioGrid, ScenarioSpec
 from repro.units import seconds_to_us
 from repro.workloads.memcached import MEMCACHED_RATES_KQPS
 
@@ -55,56 +61,104 @@ class Fig11Sweep:
         return [r.turbo_grant_rate for r in self.results[config]]
 
 
+@dataclass(frozen=True)
+class Fig11Params(SweepParams):
+    """Fig 11 sweep knobs; ``rates_kqps=None`` uses the paper's sweep."""
+
+    default_rates = tuple(MEMCACHED_RATES_KQPS)
+
+
+@register_experiment
+class Fig11Experiment(Experiment):
+    id = "fig11"
+    title = "Fig 11: the effect of idle states on Turbo performance."
+    artifact = "Figure 11"
+    Params = Fig11Params
+
+    def _spec(self, config: str, kqps: float) -> ScenarioSpec:
+        p = self.params
+        return ScenarioSpec(
+            workload="memcached", config=config, qps=kqps * 1000.0,
+            horizon=p.horizon, cores=p.cores, seed=p.seed,
+        )
+
+    def grid(self) -> ScenarioGrid:
+        return ScenarioGrid([
+            self._spec(config, kqps)
+            for config in NO_TURBO_CONFIGS + TURBO_CONFIGS
+            for kqps in self.params.resolved_rates()
+        ])
+
+    def analyze(self, results: Optional[ResultMap] = None) -> ExperimentResult:
+        rates = self.params.resolved_rates()
+        configs = NO_TURBO_CONFIGS + TURBO_CONFIGS
+        by_config = {
+            name: [self.point(results, self._spec(name, kqps)) for kqps in rates]
+            for name in configs
+        }
+        sweep = Fig11Sweep(results=by_config, rates_kqps=list(rates))
+        records = [
+            run.to_record()
+            for name in configs
+            for run in by_config[name]
+        ]
+        return self.make_result(records=records, payload=sweep)
+
+    def render_text(self, result: ExperimentResult) -> str:
+        sweep: Fig11Sweep = result.payload
+        lines: List[str] = []
+        for title, configs, tail in [
+            ("Fig 11(a): No Turbo - avg latency (us)", NO_TURBO_CONFIGS, False),
+            ("Fig 11(b): Turbo - avg latency (us)", TURBO_CONFIGS, False),
+            ("Fig 11(c): No Turbo - tail latency (us)", NO_TURBO_CONFIGS, True),
+            ("Fig 11(d): Turbo - tail latency (us)", TURBO_CONFIGS, True),
+        ]:
+            lines.append(title)
+            rows = []
+            for i, kqps in enumerate(sweep.rates_kqps):
+                vals = [
+                    sweep.tail_latency_us(c)[i] if tail
+                    else sweep.avg_latency_us(c)[i]
+                    for c in configs
+                ]
+                rows.append([f"{kqps:.0f}K"] + [f"{v:.1f}" for v in vals])
+            lines.append(format_table(["QPS"] + configs, rows))
+            lines.append("")
+
+        lines.append("Turbo grant rates (fraction of busy-period starts boosted)")
+        rows = []
+        for i, kqps in enumerate(sweep.rates_kqps):
+            rows.append(
+                [f"{kqps:.0f}K"]
+                + [f"{sweep.turbo_grant_rates(c)[i] * 100:.0f}%"
+                   for c in TURBO_CONFIGS]
+            )
+        lines.append(format_table(["QPS"] + TURBO_CONFIGS, rows))
+        return "\n".join(lines)
+
+    def quick_params(self) -> Fig11Params:
+        return Fig11Params.quick()
+
+
 def run(
     rates_kqps: Sequence[float] = None,
     horizon: float = DEFAULT_HORIZON,
     cores: int = DEFAULT_CORES,
     seed: int = DEFAULT_SEED,
 ) -> Fig11Sweep:
-    """Regenerate the Fig 11 sweep."""
-    rates_kqps = rates_kqps if rates_kqps is not None else MEMCACHED_RATES_KQPS
-    configs = NO_TURBO_CONFIGS + TURBO_CONFIGS
-    prefetch_points(
-        [("memcached", name, kqps * 1000.0) for name in configs for kqps in rates_kqps],
-        horizon, cores, seed,
+    """Deprecated shim over :class:`Fig11Experiment`."""
+    experiment = Fig11Experiment(
+        Fig11Params(
+            rates_kqps=None if rates_kqps is None else tuple(rates_kqps),
+            horizon=horizon, cores=cores, seed=seed,
+        )
     )
-    results = {
-        name: [
-            run_point("memcached", name, kqps * 1000.0, horizon, cores, seed)
-            for kqps in rates_kqps
-        ]
-        for name in configs
-    }
-    return Fig11Sweep(results=results, rates_kqps=list(rates_kqps))
+    return experiment.execute().payload
 
 
 def main() -> None:
-    sweep = run()
-    for title, configs, tail in [
-        ("Fig 11(a): No Turbo - avg latency (us)", NO_TURBO_CONFIGS, False),
-        ("Fig 11(b): Turbo - avg latency (us)", TURBO_CONFIGS, False),
-        ("Fig 11(c): No Turbo - tail latency (us)", NO_TURBO_CONFIGS, True),
-        ("Fig 11(d): Turbo - tail latency (us)", TURBO_CONFIGS, True),
-    ]:
-        print(title)
-        rows = []
-        for i, kqps in enumerate(sweep.rates_kqps):
-            vals = [
-                sweep.tail_latency_us(c)[i] if tail else sweep.avg_latency_us(c)[i]
-                for c in configs
-            ]
-            rows.append([f"{kqps:.0f}K"] + [f"{v:.1f}" for v in vals])
-        print(format_table(["QPS"] + configs, rows))
-        print()
-
-    print("Turbo grant rates (fraction of busy-period starts boosted)")
-    rows = []
-    for i, kqps in enumerate(sweep.rates_kqps):
-        rows.append(
-            [f"{kqps:.0f}K"]
-            + [f"{sweep.turbo_grant_rates(c)[i] * 100:.0f}%" for c in TURBO_CONFIGS]
-        )
-    print(format_table(["QPS"] + TURBO_CONFIGS, rows))
+    experiment = Fig11Experiment()
+    print(experiment.render_text(experiment.execute()))
 
 
 if __name__ == "__main__":

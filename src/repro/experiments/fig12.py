@@ -16,18 +16,23 @@ rate, disabling C6 improves latency by ~4-10%, and C6A then recovers
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro.experiments.api import (
+    Experiment,
+    ExperimentResult,
+    ResultMap,
+    register_experiment,
+)
 from repro.experiments.common import (
     DEFAULT_CORES,
     DEFAULT_SEED,
     format_table,
     pct,
-    prefetch_points,
-    run_point,
 )
 from repro.server import RunResult
 from repro.server.metrics import compare_power
+from repro.sweep import ScenarioGrid, ScenarioSpec
 from repro.workloads.mysql import MYSQL_RATES
 
 #: MySQL transactions are long; a longer horizon keeps request counts up.
@@ -73,6 +78,117 @@ class Fig12Point:
         return compare_power(self.no_c6, self.aw)
 
 
+@dataclass(frozen=True)
+class Fig12Params:
+    """Operating-point knobs; ``rates=None`` uses the paper's rates."""
+
+    rates: Optional[Tuple[Tuple[str, float], ...]] = None
+    horizon: float = MYSQL_HORIZON
+    cores: int = DEFAULT_CORES
+    seed: int = DEFAULT_SEED
+    workload_name: str = "mysql"
+
+    def resolved_rates(self) -> "Dict[str, float]":
+        if self.rates is None:
+            return dict(MYSQL_RATES)
+        return dict(self.rates)
+
+
+def _freeze_rates(rates: Optional[Mapping[str, float]]):
+    return None if rates is None else tuple(rates.items())
+
+
+@register_experiment
+class Fig12Experiment(Experiment):
+    id = "fig12"
+    title = "Fig 12: MySQL (sysbench OLTP) evaluation at low/mid/high rates."
+    artifact = "Figure 12"
+    Params = Fig12Params
+
+    def _spec(self, config: str, qps: float) -> ScenarioSpec:
+        p = self.params
+        return ScenarioSpec(
+            workload=p.workload_name, config=config, qps=qps,
+            horizon=p.horizon, cores=p.cores, seed=p.seed,
+        )
+
+    def grid(self) -> ScenarioGrid:
+        return ScenarioGrid([
+            self._spec(config, qps)
+            for config in (BASELINE, NO_C6, AW)
+            for qps in self.params.resolved_rates().values()
+        ])
+
+    def analyze(self, results: Optional[ResultMap] = None) -> ExperimentResult:
+        points = []
+        for label, qps in self.params.resolved_rates().items():
+            points.append(
+                Fig12Point(
+                    label=label,
+                    qps=qps,
+                    baseline=self.point(results, self._spec(BASELINE, qps)),
+                    no_c6=self.point(results, self._spec(NO_C6, qps)),
+                    aw=self.point(results, self._spec(AW, qps)),
+                )
+            )
+        records = [
+            {
+                "label": point.label,
+                "qps": point.qps,
+                "avg_latency_reduction": point.avg_latency_reduction,
+                "tail_latency_reduction": point.tail_latency_reduction,
+                "aw_power_reduction": point.aw_power_reduction,
+                "baseline": point.baseline.to_record(),
+                "no_c6": point.no_c6.to_record(),
+                "aw": point.aw.to_record(),
+            }
+            for point in points
+        ]
+        return self.make_result(records=records, payload=points)
+
+    def render_text(self, result: ExperimentResult) -> str:
+        points: List[Fig12Point] = result.payload
+        number = self.artifact.split()[-1]
+        states = sorted({s for p in points for s in p.baseline_residency})
+        lines = [f"Fig {number}(a): baseline C-state residency"]
+        rows = [
+            [p.label] + [pct(p.baseline_residency.get(s, 0.0), 0) for s in states]
+            for p in points
+        ]
+        lines.append(format_table(["Rate"] + states, rows))
+
+        states_b = sorted({s for p in points for s in p.no_c6_residency})
+        lines.append("")
+        lines.append(f"Fig {number}(b): residency with C6 disabled")
+        rows = [
+            [p.label] + [pct(p.no_c6_residency.get(s, 0.0), 0) for s in states_b]
+            for p in points
+        ]
+        lines.append(format_table(["Rate"] + states_b, rows))
+
+        lines.append("")
+        lines.append(f"Fig {number}(c): latency reduction from disabling C6")
+        rows = [
+            [p.label, pct(p.tail_latency_reduction), pct(p.avg_latency_reduction)]
+            for p in points
+        ]
+        lines.append(format_table(["Rate", "Tail lat", "Avg lat"], rows))
+
+        lines.append("")
+        lines.append(f"Fig {number}(d): AW C6A average power reduction vs C6-disabled")
+        rows = [[p.label, pct(p.aw_power_reduction)] for p in points]
+        lines.append(format_table(["Rate", "AvgP reduction"], rows))
+        return "\n".join(lines)
+
+    def quick_params(self) -> Fig12Params:
+        rates = self.params.resolved_rates()
+        label, qps = next(iter(rates.items()))
+        return type(self.params)(
+            rates=((label, qps),), horizon=0.5,
+            workload_name=self.params.workload_name,
+        )
+
+
 def run(
     rates: Mapping[str, float] = None,
     horizon: float = MYSQL_HORIZON,
@@ -80,58 +196,19 @@ def run(
     seed: int = DEFAULT_SEED,
     workload_name: str = "mysql",
 ) -> List[Fig12Point]:
-    """Regenerate the Fig 12 operating points."""
-    rates = rates if rates is not None else MYSQL_RATES
-    prefetch_points(
-        [
-            (workload_name, config, qps)
-            for config in (BASELINE, NO_C6, AW)
-            for qps in rates.values()
-        ],
-        horizon, cores, seed,
-    )
-    points = []
-    for label, qps in rates.items():
-        points.append(
-            Fig12Point(
-                label=label,
-                qps=qps,
-                baseline=run_point(workload_name, BASELINE, qps, horizon, cores, seed),
-                no_c6=run_point(workload_name, NO_C6, qps, horizon, cores, seed),
-                aw=run_point(workload_name, AW, qps, horizon, cores, seed),
-            )
+    """Deprecated shim over :class:`Fig12Experiment`."""
+    experiment = Fig12Experiment(
+        Fig12Params(
+            rates=_freeze_rates(rates), horizon=horizon, cores=cores,
+            seed=seed, workload_name=workload_name,
         )
-    return points
+    )
+    return experiment.execute().payload
 
 
 def main() -> None:
-    points = run()
-    states = sorted({s for p in points for s in p.baseline_residency})
-    print("Fig 12(a): baseline C-state residency")
-    rows = [
-        [p.label] + [pct(p.baseline_residency.get(s, 0.0), 0) for s in states]
-        for p in points
-    ]
-    print(format_table(["Rate"] + states, rows))
-
-    states_b = sorted({s for p in points for s in p.no_c6_residency})
-    print("\nFig 12(b): residency with C6 disabled")
-    rows = [
-        [p.label] + [pct(p.no_c6_residency.get(s, 0.0), 0) for s in states_b]
-        for p in points
-    ]
-    print(format_table(["Rate"] + states_b, rows))
-
-    print("\nFig 12(c): latency reduction from disabling C6")
-    rows = [
-        [p.label, pct(p.tail_latency_reduction), pct(p.avg_latency_reduction)]
-        for p in points
-    ]
-    print(format_table(["Rate", "Tail lat", "Avg lat"], rows))
-
-    print("\nFig 12(d): AW C6A average power reduction vs C6-disabled")
-    rows = [[p.label, pct(p.aw_power_reduction)] for p in points]
-    print(format_table(["Rate", "AvgP reduction"], rows))
+    experiment = Fig12Experiment()
+    print(experiment.render_text(experiment.execute()))
 
 
 if __name__ == "__main__":

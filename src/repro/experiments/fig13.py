@@ -12,19 +12,42 @@ Same panel structure as Fig 12 (Kafka at two operating points):
 
 from __future__ import annotations
 
-from typing import List, Mapping
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
 
-from repro.experiments.common import (
-    DEFAULT_CORES,
-    DEFAULT_SEED,
-    format_table,
-    pct,
+from repro.experiments.api import register_experiment
+from repro.experiments.common import DEFAULT_CORES, DEFAULT_SEED
+from repro.experiments.fig12 import (
+    Fig12Experiment,
+    Fig12Params,
+    Fig12Point,
+    _freeze_rates,
 )
-from repro.experiments.fig12 import Fig12Point, run as _run_shared
 from repro.workloads.kafka import KAFKA_RATES
 
 #: Kafka batches are mid-weight; 1 s covers thousands of requests.
 KAFKA_HORIZON = 1.0
+
+
+@dataclass(frozen=True)
+class Fig13Params(Fig12Params):
+    """Fig 12's knobs with Kafka defaults."""
+
+    horizon: float = KAFKA_HORIZON
+    workload_name: str = "kafka"
+
+    def resolved_rates(self) -> "Dict[str, float]":
+        if self.rates is None:
+            return dict(KAFKA_RATES)
+        return dict(self.rates)
+
+
+@register_experiment
+class Fig13Experiment(Fig12Experiment):
+    id = "fig13"
+    title = "Fig 13: Apache Kafka evaluation at low/high rates."
+    artifact = "Figure 13"
+    Params = Fig13Params
 
 
 def run(
@@ -33,41 +56,18 @@ def run(
     cores: int = DEFAULT_CORES,
     seed: int = DEFAULT_SEED,
 ) -> List[Fig12Point]:
-    """Regenerate the Fig 13 operating points (shares Fig 12 plumbing)."""
-    rates = rates if rates is not None else KAFKA_RATES
-    return _run_shared(
-        rates=rates, horizon=horizon, cores=cores, seed=seed, workload_name="kafka"
+    """Deprecated shim over :class:`Fig13Experiment`."""
+    experiment = Fig13Experiment(
+        Fig13Params(
+            rates=_freeze_rates(rates), horizon=horizon, cores=cores, seed=seed,
+        )
     )
+    return experiment.execute().payload
 
 
 def main() -> None:
-    points = run()
-    states = sorted({s for p in points for s in p.baseline_residency})
-    print("Fig 13(a): baseline C-state residency")
-    rows = [
-        [p.label] + [pct(p.baseline_residency.get(s, 0.0), 0) for s in states]
-        for p in points
-    ]
-    print(format_table(["Rate"] + states, rows))
-
-    states_b = sorted({s for p in points for s in p.no_c6_residency})
-    print("\nFig 13(b): residency with C6 disabled")
-    rows = [
-        [p.label] + [pct(p.no_c6_residency.get(s, 0.0), 0) for s in states_b]
-        for p in points
-    ]
-    print(format_table(["Rate"] + states_b, rows))
-
-    print("\nFig 13(c): latency reduction from disabling C6")
-    rows = [
-        [p.label, pct(p.tail_latency_reduction), pct(p.avg_latency_reduction)]
-        for p in points
-    ]
-    print(format_table(["Rate", "Tail lat", "Avg lat"], rows))
-
-    print("\nFig 13(d): AW C6A average power reduction vs C6-disabled")
-    rows = [[p.label, pct(p.aw_power_reduction)] for p in points]
-    print(format_table(["Rate", "AvgP reduction"], rows))
+    experiment = Fig13Experiment()
+    print(experiment.render_text(experiment.execute()))
 
 
 if __name__ == "__main__":

@@ -22,6 +22,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.cstates import C6A_EXTRA_TRANSITION
+from repro.experiments.api import (
+    Experiment,
+    ExperimentResult,
+    ResultMap,
+    SweepParams,
+    register_experiment,
+)
 from repro.experiments.common import (
     DEFAULT_CORES,
     DEFAULT_HORIZON,
@@ -29,11 +36,10 @@ from repro.experiments.common import (
     format_table,
     get_workload,
     pct,
-    prefetch_points,
-    run_point,
 )
 from repro.server import RunResult, named_configuration, simulate
 from repro.server.config import ServerConfiguration
+from repro.sweep import ScenarioGrid, ScenarioSpec
 from repro.workloads.memcached import MEMCACHED_RATES_KQPS
 
 #: Replaced idle states whose transitions pay the ~100 ns AW overhead.
@@ -70,6 +76,176 @@ def _per_query_overhead(workload, derate: float, transitions_per_query: float) -
     return slowdown + transitions_per_query * C6A_EXTRA_TRANSITION
 
 
+@dataclass(frozen=True)
+class Fig8Params(SweepParams):
+    """Fig 8 sweep knobs; ``rates_kqps=None`` uses the paper's sweep."""
+
+    with_scalability: bool = True
+
+    default_rates = tuple(MEMCACHED_RATES_KQPS)
+
+
+@register_experiment
+class Fig8Experiment(Experiment):
+    id = "fig8"
+    title = "Fig 8: AW vs. the baseline configuration on Memcached."
+    artifact = "Figure 8"
+    Params = Fig8Params
+
+    def _spec(self, config: str, kqps: float) -> ScenarioSpec:
+        p = self.params
+        return ScenarioSpec(
+            workload="memcached", config=config, qps=kqps * 1000.0,
+            horizon=p.horizon, cores=p.cores, seed=p.seed,
+        )
+
+    def grid(self) -> ScenarioGrid:
+        return ScenarioGrid([
+            self._spec(config, kqps)
+            for config in ("baseline", "AW")
+            for kqps in self.params.resolved_rates()
+        ])
+
+    def analyze(self, results: Optional[ResultMap] = None) -> ExperimentResult:
+        p = self.params
+        workload = get_workload("memcached")
+        aw_config = named_configuration("AW")
+        derate = aw_config.frequency_derate
+
+        points: List[Fig8Point] = []
+        for kqps in p.resolved_rates():
+            qps = kqps * 1000.0
+            base = self.point(results, self._spec("baseline", kqps))
+            aw = self.point(results, self._spec("AW", kqps))
+
+            power_reduction = (
+                (base.avg_core_power - aw.avg_core_power) / base.avg_core_power
+            )
+            avg_deg = (aw.avg_latency - base.avg_latency) / base.avg_latency
+            tail_deg = (aw.tail_latency - base.tail_latency) / base.tail_latency
+
+            # Panel (c): worst case charges one transition per query.
+            worst_extra = _per_query_overhead(
+                workload, derate, transitions_per_query=1.0
+            )
+            base_server = base.avg_latency
+            base_e2e = base.avg_latency_e2e
+            worst_server = worst_extra / base_server
+            worst_e2e = worst_extra / base_e2e
+            # Expected case uses the transitions actually observed.
+            replaced_rate = sum(
+                base.transitions_per_second.get(n, 0.0) for n in _REPLACED
+            ) * p.cores  # aggregate transitions/second over the node
+            transitions_per_query = replaced_rate / qps if qps > 0 else 0.0
+            expected_extra = _per_query_overhead(
+                workload, derate, transitions_per_query
+            )
+            expected_server = expected_extra / base_server
+            expected_e2e = expected_extra / base_e2e
+
+            scalability = None
+            if p.with_scalability:
+                scalability = _measured_scalability(
+                    qps, p.horizon, p.cores, p.seed, fast=base
+                )
+
+            points.append(
+                Fig8Point(
+                    qps=qps,
+                    baseline=base,
+                    aw=aw,
+                    power_reduction=power_reduction,
+                    avg_latency_degradation=avg_deg,
+                    tail_latency_degradation=tail_deg,
+                    worst_case_server_degradation=worst_server,
+                    worst_case_e2e_degradation=worst_e2e,
+                    expected_server_degradation=expected_server,
+                    expected_e2e_degradation=expected_e2e,
+                    scalability=scalability,
+                )
+            )
+        records = [
+            {
+                "qps": point.qps,
+                "power_reduction": point.power_reduction,
+                "avg_latency_degradation": point.avg_latency_degradation,
+                "tail_latency_degradation": point.tail_latency_degradation,
+                "worst_case_server_degradation": point.worst_case_server_degradation,
+                "worst_case_e2e_degradation": point.worst_case_e2e_degradation,
+                "expected_server_degradation": point.expected_server_degradation,
+                "expected_e2e_degradation": point.expected_e2e_degradation,
+                "scalability": point.scalability,
+                "baseline": point.baseline.to_record(),
+                "aw": point.aw.to_record(),
+            }
+            for point in points
+        ]
+        notes = [
+            f"average power reduction: {pct(average_power_reduction(points))} "
+            "(paper: ~23.5% vs its baseline)"
+        ]
+        return self.make_result(records=records, payload=points, notes=notes)
+
+    def render_text(self, result: ExperimentResult) -> str:
+        points: List[Fig8Point] = result.payload
+        states = sorted({s for p in points for s in p.residency})
+        lines = ["Fig 8(a): baseline C-state residency"]
+        rows = [
+            [f"{p.qps / 1000:.0f}K"]
+            + [pct(p.residency.get(s, 0.0), 0) for s in states]
+            for p in points
+        ]
+        lines.append(format_table(["QPS"] + states, rows))
+
+        lines.append("")
+        lines.append("Fig 8(b): AW power reduction and latency degradation")
+        rows = [
+            [
+                f"{p.qps / 1000:.0f}K",
+                pct(p.power_reduction),
+                pct(p.avg_latency_degradation, 2),
+                pct(p.tail_latency_degradation, 2),
+            ]
+            for p in points
+        ]
+        rows.append(["Avg", pct(average_power_reduction(points)), "", ""])
+        lines.append(
+            format_table(
+                ["QPS", "AvgP reduction", "Avg lat deg", "Tail lat deg"], rows
+            )
+        )
+
+        lines.append("")
+        lines.append("Fig 8(c): response-time degradation (worst vs expected case)")
+        rows = [
+            [
+                f"{p.qps / 1000:.0f}K",
+                pct(p.worst_case_e2e_degradation, 2),
+                pct(p.worst_case_server_degradation, 2),
+                pct(p.expected_e2e_degradation, 2),
+                pct(p.expected_server_degradation, 2),
+            ]
+            for p in points
+        ]
+        lines.append(
+            format_table(
+                ["QPS", "Worst e2e", "Worst server", "Expected e2e",
+                 "Expected server"],
+                rows,
+            )
+        )
+
+        if points and points[0].scalability is not None:
+            lines.append("")
+            lines.append("Fig 8(d): performance scalability (2.0 -> 2.2 GHz)")
+            rows = [[f"{p.qps / 1000:.0f}K", pct(p.scalability, 0)] for p in points]
+            lines.append(format_table(["QPS", "Scalability"], rows))
+        return "\n".join(lines)
+
+    def quick_params(self) -> Fig8Params:
+        return Fig8Params.quick(with_scalability=False)
+
+
 def run(
     rates_kqps: Sequence[float] = None,
     horizon: float = DEFAULT_HORIZON,
@@ -77,77 +253,27 @@ def run(
     seed: int = DEFAULT_SEED,
     with_scalability: bool = True,
 ) -> List[Fig8Point]:
-    """Regenerate all Fig 8 panels."""
-    rates_kqps = rates_kqps if rates_kqps is not None else MEMCACHED_RATES_KQPS
-    prefetch_points(
-        [
-            ("memcached", config, kqps * 1000.0)
-            for config in ("baseline", "AW")
-            for kqps in rates_kqps
-        ],
-        horizon, cores, seed,
+    """Deprecated shim over :class:`Fig8Experiment`."""
+    experiment = Fig8Experiment(
+        Fig8Params(
+            rates_kqps=None if rates_kqps is None else tuple(rates_kqps),
+            horizon=horizon, cores=cores, seed=seed,
+            with_scalability=with_scalability,
+        )
     )
-    workload = get_workload("memcached")
-    aw_config = named_configuration("AW")
-    derate = aw_config.frequency_derate
-
-    points: List[Fig8Point] = []
-    for kqps in rates_kqps:
-        qps = kqps * 1000.0
-        base = run_point("memcached", "baseline", qps, horizon, cores, seed)
-        aw = run_point("memcached", "AW", qps, horizon, cores, seed)
-
-        power_reduction = (
-            (base.avg_core_power - aw.avg_core_power) / base.avg_core_power
-        )
-        avg_deg = (aw.avg_latency - base.avg_latency) / base.avg_latency
-        tail_deg = (aw.tail_latency - base.tail_latency) / base.tail_latency
-
-        # Panel (c): worst case charges one transition per query.
-        worst_extra = _per_query_overhead(workload, derate, transitions_per_query=1.0)
-        base_server = base.avg_latency
-        base_e2e = base.avg_latency_e2e
-        worst_server = worst_extra / base_server
-        worst_e2e = worst_extra / base_e2e
-        # Expected case uses the transitions actually observed.
-        replaced_rate = sum(
-            base.transitions_per_second.get(n, 0.0) for n in _REPLACED
-        ) * cores  # aggregate transitions/second over the node
-        transitions_per_query = replaced_rate / qps if qps > 0 else 0.0
-        expected_extra = _per_query_overhead(workload, derate, transitions_per_query)
-        expected_server = expected_extra / base_server
-        expected_e2e = expected_extra / base_e2e
-
-        scalability = None
-        if with_scalability:
-            scalability = _measured_scalability(qps, horizon, cores, seed)
-
-        points.append(
-            Fig8Point(
-                qps=qps,
-                baseline=base,
-                aw=aw,
-                power_reduction=power_reduction,
-                avg_latency_degradation=avg_deg,
-                tail_latency_degradation=tail_deg,
-                worst_case_server_degradation=worst_server,
-                worst_case_e2e_degradation=worst_e2e,
-                expected_server_degradation=expected_server,
-                expected_e2e_degradation=expected_e2e,
-                scalability=scalability,
-            )
-        )
-    return points
+    return experiment.execute().payload
 
 
 def _measured_scalability(
-    qps: float, horizon: float, cores: int, seed: int
+    qps: float, horizon: float, cores: int, seed: int,
+    fast: Optional[RunResult] = None,
 ) -> float:
     """Panel (d): performance scalability from 2.0 to 2.2 GHz, measured as
     the latency-based performance gain per unit frequency gain.
 
     Emulates 2.0 GHz by derating the 2.2 GHz baseline configuration by
-    1 - 2.0/2.2.
+    1 - 2.0/2.2. The 2.0 GHz point uses an ad-hoc configuration, so it
+    runs outside the declarative grid (direct, uncached simulation).
     """
     derate_to_2ghz = 1.0 - 2.0 / 2.2
     slow_config = ServerConfiguration(
@@ -156,7 +282,10 @@ def _measured_scalability(
         turbo_enabled=True,
         frequency_derate=derate_to_2ghz,
     )
-    fast = run_point("memcached", "baseline", qps, horizon, cores, seed)
+    if fast is None:
+        from repro.experiments.common import run_point
+
+        fast = run_point("memcached", "baseline", qps, horizon, cores, seed)
     slow = simulate(
         get_workload("memcached"), slow_config, qps=qps, cores=cores,
         horizon=horizon, seed=seed,
@@ -172,50 +301,8 @@ def average_power_reduction(points: Sequence[Fig8Point]) -> float:
 
 
 def main() -> None:
-    points = run()
-    states = sorted({s for p in points for s in p.residency})
-    print("Fig 8(a): baseline C-state residency")
-    rows = [
-        [f"{p.qps / 1000:.0f}K"] + [pct(p.residency.get(s, 0.0), 0) for s in states]
-        for p in points
-    ]
-    print(format_table(["QPS"] + states, rows))
-
-    print("\nFig 8(b): AW power reduction and latency degradation")
-    rows = [
-        [
-            f"{p.qps / 1000:.0f}K",
-            pct(p.power_reduction),
-            pct(p.avg_latency_degradation, 2),
-            pct(p.tail_latency_degradation, 2),
-        ]
-        for p in points
-    ]
-    rows.append(["Avg", pct(average_power_reduction(points)), "", ""])
-    print(format_table(["QPS", "AvgP reduction", "Avg lat deg", "Tail lat deg"], rows))
-
-    print("\nFig 8(c): response-time degradation (worst vs expected case)")
-    rows = [
-        [
-            f"{p.qps / 1000:.0f}K",
-            pct(p.worst_case_e2e_degradation, 2),
-            pct(p.worst_case_server_degradation, 2),
-            pct(p.expected_e2e_degradation, 2),
-            pct(p.expected_server_degradation, 2),
-        ]
-        for p in points
-    ]
-    print(
-        format_table(
-            ["QPS", "Worst e2e", "Worst server", "Expected e2e", "Expected server"],
-            rows,
-        )
-    )
-
-    if points[0].scalability is not None:
-        print("\nFig 8(d): performance scalability (2.0 -> 2.2 GHz)")
-        rows = [[f"{p.qps / 1000:.0f}K", pct(p.scalability, 0)] for p in points]
-        print(format_table(["QPS", "Scalability"], rows))
+    experiment = Fig8Experiment()
+    print(experiment.render_text(experiment.execute()))
 
 
 if __name__ == "__main__":

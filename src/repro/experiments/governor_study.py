@@ -23,11 +23,17 @@ hierarchy itself (C6's 600 us target residency) is the bottleneck.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
+from repro.experiments.api import (
+    Experiment,
+    ExperimentResult,
+    ResultMap,
+    register_experiment,
+)
 from repro.governor.idle import ReplayOracleGovernor
 from repro.server import RunResult
-from repro.sweep import ScenarioSpec, default_runner
+from repro.sweep import ScenarioGrid, ScenarioSpec
 
 #: Backwards-compatible alias: the adapter used to live in this module.
 _OracleAdapter = ReplayOracleGovernor
@@ -46,6 +52,99 @@ class GovernorPoint:
     result: RunResult
 
 
+@dataclass(frozen=True)
+class GovernorStudyParams:
+    qps: float = 100_000
+    horizon: float = 0.15
+    seed: int = 42
+    configs: Tuple[str, ...] = ("NT_Baseline", "NT_AW")
+    governors: Tuple[str, ...] = tuple(GOVERNORS)
+
+
+@register_experiment
+class GovernorStudyExperiment(Experiment):
+    id = "governor_study"
+    title = "Governor ablation: how much idle-state prediction is worth."
+    artifact = "extension"
+    Params = GovernorStudyParams
+
+    def _specs(self) -> List[ScenarioSpec]:
+        p = self.params
+        return [
+            ScenarioSpec(
+                workload="memcached", config=config_name, qps=p.qps,
+                horizon=p.horizon, seed=p.seed, governor=governor_name,
+            )
+            for config_name in p.configs
+            for governor_name in p.governors
+        ]
+
+    def grid(self) -> ScenarioGrid:
+        return ScenarioGrid(self._specs())
+
+    def analyze(self, results: Optional[ResultMap] = None) -> ExperimentResult:
+        specs = self._specs()
+        points = [
+            GovernorPoint(spec.governor, spec.config,
+                          self.point(results, spec))
+            for spec in specs
+        ]
+        records = [
+            {"governor": point.governor, **point.result.to_record()}
+            for point in points
+        ]
+        return self.make_result(records=records, payload=points)
+
+    def render_text(self, result: ExperimentResult) -> str:
+        from repro.experiments.common import format_table
+        from repro.units import seconds_to_us
+
+        points: List[GovernorPoint] = result.payload
+        rows = []
+        for p in points:
+            rows.append(
+                [
+                    p.config,
+                    p.governor,
+                    f"{p.result.avg_core_power:.2f} W",
+                    f"{seconds_to_us(p.result.avg_latency):.1f} us",
+                    f"{seconds_to_us(p.result.tail_latency):.1f} us",
+                ]
+            )
+        lines = [f"Governor study @ {self.params.qps / 1000:.0f}K QPS Memcached"]
+        lines.append(
+            format_table(
+                ["Config", "Governor", "Power/core", "Avg lat", "p99 lat"], rows
+            )
+        )
+        def find(config: str, governor: str):
+            return next(
+                (p for p in points
+                 if p.config == config and p.governor == governor),
+                None,
+            )
+
+        menu_base = find("NT_Baseline", "menu")
+        menu_aw = find("NT_AW", "menu")
+        oracle_base = find("NT_Baseline", "oracle")
+        # The headline comparison only exists when the default points were
+        # swept; custom configs/governors still get the table above.
+        if menu_base and menu_aw and oracle_base:
+            lines.append("")
+            lines.append(
+                f"menu+AW power: {menu_aw.result.avg_core_power:.2f} W vs "
+                f"oracle+legacy: {oracle_base.result.avg_core_power:.2f} W vs "
+                f"menu+legacy: {menu_base.result.avg_core_power:.2f} W"
+            )
+            lines.append(
+                "A perfect predictor on the legacy hierarchy cannot match AW."
+            )
+        return "\n".join(lines)
+
+    def quick_params(self) -> GovernorStudyParams:
+        return GovernorStudyParams(qps=20_000, horizon=0.02)
+
+
 def run(
     qps: float = 100_000,
     horizon: float = 0.15,
@@ -53,49 +152,19 @@ def run(
     configs: Sequence[str] = ("NT_Baseline", "NT_AW"),
     governors: Sequence[str] = GOVERNORS,
 ) -> List[GovernorPoint]:
-    """Cross governors with configurations at one operating point."""
-    specs = [
-        ScenarioSpec(
-            workload="memcached", config=config_name, qps=qps,
-            horizon=horizon, seed=seed, governor=governor_name,
+    """Deprecated shim over :class:`GovernorStudyExperiment`."""
+    experiment = GovernorStudyExperiment(
+        GovernorStudyParams(
+            qps=qps, horizon=horizon, seed=seed,
+            configs=tuple(configs), governors=tuple(governors),
         )
-        for config_name in configs
-        for governor_name in governors
-    ]
-    results = default_runner().run_many(specs)
-    return [
-        GovernorPoint(spec.governor, spec.config, result)
-        for spec, result in zip(specs, results)
-    ]
+    )
+    return experiment.execute().payload
 
 
 def main() -> None:
-    from repro.experiments.common import format_table
-    from repro.units import seconds_to_us
-
-    points = run()
-    rows = []
-    for p in points:
-        rows.append(
-            [
-                p.config,
-                p.governor,
-                f"{p.result.avg_core_power:.2f} W",
-                f"{seconds_to_us(p.result.avg_latency):.1f} us",
-                f"{seconds_to_us(p.result.tail_latency):.1f} us",
-            ]
-        )
-    print("Governor study @ 100K QPS Memcached")
-    print(format_table(["Config", "Governor", "Power/core", "Avg lat", "p99 lat"], rows))
-    menu_base = next(p for p in points if p.config == "NT_Baseline" and p.governor == "menu")
-    menu_aw = next(p for p in points if p.config == "NT_AW" and p.governor == "menu")
-    oracle_base = next(p for p in points if p.config == "NT_Baseline" and p.governor == "oracle")
-    print(
-        f"\nmenu+AW power: {menu_aw.result.avg_core_power:.2f} W vs "
-        f"oracle+legacy: {oracle_base.result.avg_core_power:.2f} W vs "
-        f"menu+legacy: {menu_base.result.avg_core_power:.2f} W"
-    )
-    print("A perfect predictor on the legacy hierarchy cannot match AW.")
+    experiment = GovernorStudyExperiment()
+    print(experiment.render_text(experiment.execute()))
 
 
 if __name__ == "__main__":

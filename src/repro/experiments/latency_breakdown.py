@@ -22,6 +22,7 @@ from repro.core.latency import (
     CacheFlushModel,
     transition_speedup,
 )
+from repro.experiments.api import Experiment, ExperimentResult, register_experiment
 from repro.experiments.common import format_table
 from repro.units import GHZ, MHZ, pretty_time
 
@@ -42,54 +43,104 @@ class LatencyReport:
     flush_grid: List[Tuple[float, float, float]]  # (dirty, freq_hz, seconds)
 
 
+@register_experiment
+class LatencyBreakdownExperiment(Experiment):
+    id = "latency_breakdown"
+    title = "Sec 3 / Sec 5.2: transition-latency breakdowns and the headline ratio."
+    artifact = "Section 5.2"
+
+    def analyze(self, results=None) -> ExperimentResult:
+        c6 = C6LatencyModel()
+        c6a = C6ALatencyModel()
+        flush = CacheFlushModel()
+        grid = []
+        for dirty in (0.0, 0.25, 0.50, 0.75, 1.0):
+            for freq in (800 * MHZ, 2.2 * GHZ):
+                grid.append((dirty, freq, flush.flush_time(dirty, freq)))
+        report = LatencyReport(
+            c6_breakdown=c6.breakdown(),
+            c6_entry=c6.entry_latency,
+            c6_exit=c6.exit_latency,
+            c6_round_trip=c6.transition_time,
+            c6a_breakdown=c6a.breakdown(),
+            c6a_entry=c6a.entry_latency,
+            c6a_exit=c6a.exit_latency,
+            c6a_round_trip=c6a.transition_time,
+            speedup=transition_speedup(c6, c6a),
+            flush_grid=grid,
+        )
+        records: List[Dict[str, object]] = []
+        for state, breakdown, entry, exit_, round_trip in (
+            ("C6", report.c6_breakdown, report.c6_entry, report.c6_exit,
+             report.c6_round_trip),
+            ("C6A", report.c6a_breakdown, report.c6a_entry, report.c6a_exit,
+             report.c6a_round_trip),
+        ):
+            for phase, seconds in breakdown.items():
+                records.append(
+                    {"section": "breakdown", "state": state, "phase": phase,
+                     "seconds": seconds}
+                )
+            records.append(
+                {
+                    "section": "totals",
+                    "state": state,
+                    "entry_seconds": entry,
+                    "exit_seconds": exit_,
+                    "round_trip_seconds": round_trip,
+                }
+            )
+        records.append({"section": "speedup", "c6_to_c6a_speedup": report.speedup})
+        for dirty, freq, seconds in report.flush_grid:
+            records.append(
+                {
+                    "section": "flush_sensitivity",
+                    "dirty_fraction": dirty,
+                    "frequency_hz": freq,
+                    "flush_seconds": seconds,
+                }
+            )
+        return self.make_result(records=records, payload=report)
+
+    def render_text(self, result: ExperimentResult) -> str:
+        report: LatencyReport = result.payload
+        lines = ["C6 latency breakdown (50% dirty cache, 800 MHz flow clock)"]
+        rows = [[phase, pretty_time(t)] for phase, t in report.c6_breakdown.items()]
+        rows.append(["entry total", pretty_time(report.c6_entry)])
+        rows.append(["exit total (hw)", pretty_time(report.c6_exit)])
+        rows.append(["worst-case round trip", pretty_time(report.c6_round_trip)])
+        lines.append(format_table(["Phase", "Latency"], rows))
+
+        lines.append("")
+        lines.append("C6A latency breakdown (500 MHz PMA clock)")
+        rows = [[step, pretty_time(t)] for step, t in report.c6a_breakdown.items()]
+        rows.append(["entry total", pretty_time(report.c6a_entry)])
+        rows.append(["exit total", pretty_time(report.c6a_exit)])
+        rows.append(["round trip", pretty_time(report.c6a_round_trip)])
+        lines.append(format_table(["Step", "Latency"], rows))
+
+        lines.append("")
+        lines.append(f"transition speedup C6 -> C6A: {report.speedup:.0f}x "
+                     "(paper: up to ~900x, i.e. three orders of magnitude)")
+
+        lines.append("")
+        lines.append("flush-time sensitivity (dirty fraction x frequency)")
+        rows = [
+            [f"{dirty * 100:.0f}%", f"{freq / 1e6:.0f} MHz", pretty_time(t)]
+            for dirty, freq, t in report.flush_grid
+        ]
+        lines.append(format_table(["Dirty", "Frequency", "Flush time"], rows))
+        return "\n".join(lines)
+
+
 def run() -> LatencyReport:
-    """Build the full latency report from the models."""
-    c6 = C6LatencyModel()
-    c6a = C6ALatencyModel()
-    flush = CacheFlushModel()
-    grid = []
-    for dirty in (0.0, 0.25, 0.50, 0.75, 1.0):
-        for freq in (800 * MHZ, 2.2 * GHZ):
-            grid.append((dirty, freq, flush.flush_time(dirty, freq)))
-    return LatencyReport(
-        c6_breakdown=c6.breakdown(),
-        c6_entry=c6.entry_latency,
-        c6_exit=c6.exit_latency,
-        c6_round_trip=c6.transition_time,
-        c6a_breakdown=c6a.breakdown(),
-        c6a_entry=c6a.entry_latency,
-        c6a_exit=c6a.exit_latency,
-        c6a_round_trip=c6a.transition_time,
-        speedup=transition_speedup(c6, c6a),
-        flush_grid=grid,
-    )
+    """Deprecated shim over :class:`LatencyBreakdownExperiment`."""
+    return LatencyBreakdownExperiment().analyze().payload
 
 
 def main() -> None:
-    report = run()
-    print("C6 latency breakdown (50% dirty cache, 800 MHz flow clock)")
-    rows = [[phase, pretty_time(t)] for phase, t in report.c6_breakdown.items()]
-    rows.append(["entry total", pretty_time(report.c6_entry)])
-    rows.append(["exit total (hw)", pretty_time(report.c6_exit)])
-    rows.append(["worst-case round trip", pretty_time(report.c6_round_trip)])
-    print(format_table(["Phase", "Latency"], rows))
-
-    print("\nC6A latency breakdown (500 MHz PMA clock)")
-    rows = [[step, pretty_time(t)] for step, t in report.c6a_breakdown.items()]
-    rows.append(["entry total", pretty_time(report.c6a_entry)])
-    rows.append(["exit total", pretty_time(report.c6a_exit)])
-    rows.append(["round trip", pretty_time(report.c6a_round_trip)])
-    print(format_table(["Step", "Latency"], rows))
-
-    print(f"\ntransition speedup C6 -> C6A: {report.speedup:.0f}x "
-          "(paper: up to ~900x, i.e. three orders of magnitude)")
-
-    print("\nflush-time sensitivity (dirty fraction x frequency)")
-    rows = [
-        [f"{dirty * 100:.0f}%", f"{freq / 1e6:.0f} MHz", pretty_time(t)]
-        for dirty, freq, t in report.flush_grid
-    ]
-    print(format_table(["Dirty", "Frequency", "Flush time"], rows))
+    experiment = LatencyBreakdownExperiment()
+    print(experiment.render_text(experiment.analyze()))
 
 
 if __name__ == "__main__":

@@ -10,21 +10,27 @@ exactly in the low-utilisation band datacenters occupy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.analytical.proportionality import (
     ProportionalityReport,
     analyze_curve,
     curve_from_results,
 )
+from repro.experiments.api import (
+    Experiment,
+    ExperimentResult,
+    ResultMap,
+    SweepParams,
+    register_experiment,
+)
 from repro.experiments.common import (
     DEFAULT_CORES,
     DEFAULT_HORIZON,
     DEFAULT_SEED,
     format_table,
-    prefetch_points,
-    run_sweep,
 )
+from repro.sweep import ScenarioGrid, ScenarioSpec
 from repro.workloads.memcached import MEMCACHED_RATES_KQPS
 
 
@@ -34,55 +40,121 @@ class ProportionalityComparison:
     agilewatts: ProportionalityReport
 
 
+@dataclass(frozen=True)
+class ProportionalityParams(SweepParams):
+    """Curve sweep knobs; ``rates_kqps=None`` uses the paper's sweep."""
+
+    default_rates = tuple(MEMCACHED_RATES_KQPS)
+
+
+@register_experiment
+class ProportionalityExperiment(Experiment):
+    id = "proportionality"
+    title = "Energy-proportionality experiment (Sec 7.1's framing, extended)."
+    artifact = "extension"
+    Params = ProportionalityParams
+
+    def _spec(self, config: str, kqps: float) -> ScenarioSpec:
+        p = self.params
+        return ScenarioSpec(
+            workload="memcached", config=config, qps=kqps * 1000.0,
+            horizon=p.horizon, cores=p.cores, seed=p.seed,
+        )
+
+    def grid(self) -> ScenarioGrid:
+        return ScenarioGrid([
+            self._spec(config, kqps)
+            for config in ("baseline", "AW")
+            for kqps in self.params.resolved_rates()
+        ])
+
+    def analyze(self, results: Optional[ResultMap] = None) -> ExperimentResult:
+        rates = self.params.resolved_rates()
+        base = [self.point(results, self._spec("baseline", k)) for k in rates]
+        aw = [self.point(results, self._spec("AW", k)) for k in rates]
+        comparison = ProportionalityComparison(
+            baseline=analyze_curve(curve_from_results(base)),
+            agilewatts=analyze_curve(curve_from_results(aw)),
+        )
+        records = []
+        for name, report in (
+            ("baseline", comparison.baseline),
+            ("AW", comparison.agilewatts),
+        ):
+            records.append(
+                {
+                    "config": name,
+                    "lightest_load_power_w": report.curve[0][1],
+                    "peak_power_w": report.curve[-1][1],
+                    "dynamic_range": report.dynamic_range,
+                    "proportionality_gap": report.proportionality_gap,
+                    "curve": [
+                        {"utilization": u, "power_w": p} for u, p in report.curve
+                    ],
+                }
+            )
+        return self.make_result(records=records, payload=comparison)
+
+    def render_text(self, result: ExperimentResult) -> str:
+        comparison: ProportionalityComparison = result.payload
+        lines = ["Energy proportionality: baseline vs AW (Memcached sweep)"]
+        rows = []
+        for name, report in (
+            ("baseline", comparison.baseline),
+            ("AW", comparison.agilewatts),
+        ):
+            rows.append(
+                [
+                    name,
+                    f"{report.curve[0][1]:.2f} W",
+                    f"{report.curve[-1][1]:.2f} W",
+                    f"{report.dynamic_range:.2f}x",
+                    f"{report.proportionality_gap * 100:.1f}%",
+                ]
+            )
+        lines.append(
+            format_table(
+                ["Config", "Lightest-load power", "Peak power", "Dynamic range",
+                 "Proportionality gap"],
+                rows,
+            )
+        )
+        lines.append("")
+        lines.append("curves (utilisation -> power/core):")
+        for name, report in (
+            ("baseline", comparison.baseline),
+            ("AW", comparison.agilewatts),
+        ):
+            series = ", ".join(
+                f"{u * 100:.0f}%:{p:.2f}W" for u, p in report.curve
+            )
+            lines.append(f"  {name}: {series}")
+        return "\n".join(lines)
+
+    def quick_params(self) -> ProportionalityParams:
+        # Two rates: the proportionality metrics need a curve, not a point.
+        return ProportionalityParams.quick(rates_kqps=(20.0, 100.0))
+
+
 def run(
     rates_kqps: Sequence[float] = None,
     horizon: float = DEFAULT_HORIZON,
     cores: int = DEFAULT_CORES,
     seed: int = DEFAULT_SEED,
 ) -> ProportionalityComparison:
-    """Build and analyse both power-vs-load curves."""
-    rates_kqps = rates_kqps if rates_kqps is not None else MEMCACHED_RATES_KQPS
-    rates_qps = [k * 1000.0 for k in rates_kqps]
-    prefetch_points(
-        [("memcached", config, qps) for config in ("baseline", "AW") for qps in rates_qps],
-        horizon, cores, seed,
+    """Deprecated shim over :class:`ProportionalityExperiment`."""
+    experiment = ProportionalityExperiment(
+        ProportionalityParams(
+            rates_kqps=None if rates_kqps is None else tuple(rates_kqps),
+            horizon=horizon, cores=cores, seed=seed,
+        )
     )
-    base = run_sweep("memcached", "baseline", rates_qps, horizon, cores, seed)
-    aw = run_sweep("memcached", "AW", rates_qps, horizon, cores, seed)
-    return ProportionalityComparison(
-        baseline=analyze_curve(curve_from_results(base)),
-        agilewatts=analyze_curve(curve_from_results(aw)),
-    )
+    return experiment.execute().payload
 
 
 def main() -> None:
-    comparison = run()
-    print("Energy proportionality: baseline vs AW (Memcached sweep)")
-    rows = []
-    for name, report in (
-        ("baseline", comparison.baseline),
-        ("AW", comparison.agilewatts),
-    ):
-        rows.append(
-            [
-                name,
-                f"{report.curve[0][1]:.2f} W",
-                f"{report.curve[-1][1]:.2f} W",
-                f"{report.dynamic_range:.2f}x",
-                f"{report.proportionality_gap * 100:.1f}%",
-            ]
-        )
-    print(
-        format_table(
-            ["Config", "Lightest-load power", "Peak power", "Dynamic range",
-             "Proportionality gap"],
-            rows,
-        )
-    )
-    print("\ncurves (utilisation -> power/core):")
-    for name, report in (("baseline", comparison.baseline), ("AW", comparison.agilewatts)):
-        series = ", ".join(f"{u * 100:.0f}%:{p:.2f}W" for u, p in report.curve)
-        print(f"  {name}: {series}")
+    experiment = ProportionalityExperiment()
+    print(experiment.render_text(experiment.execute()))
 
 
 if __name__ == "__main__":

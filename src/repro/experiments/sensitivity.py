@@ -8,6 +8,7 @@ stance in Sec 5.1.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List
 
 from repro.analytical.sensitivity import (
@@ -15,36 +16,73 @@ from repro.analytical.sensitivity import (
     residency_sensitivity,
     tornado,
 )
+from repro.experiments.api import Experiment, ExperimentResult, register_experiment
 from repro.experiments.common import format_table, pct
 
 
+@dataclass(frozen=True)
+class SensitivityParams:
+    relative_delta: float = 0.25
+
+
+@register_experiment
+class SensitivityExperiment(Experiment):
+    id = "sensitivity"
+    title = "Sensitivity (tornado) experiment: robustness of the AW conclusion."
+    artifact = "extension"
+    Params = SensitivityParams
+
+    def analyze(self, results=None) -> ExperimentResult:
+        delta = self.params.relative_delta
+        entries = tornado(relative_delta=delta)
+        entries.append(residency_sensitivity(delta))
+        records = [
+            {
+                "parameter": e.parameter,
+                "savings_low": e.savings_low,
+                "savings_nominal": e.savings_nominal,
+                "savings_high": e.savings_high,
+                "swing_pp": e.swing * 100,
+            }
+            for e in entries
+        ]
+        return self.make_result(records=records, payload=entries)
+
+    def render_text(self, result: ExperimentResult) -> str:
+        entries = result.payload
+        lines = ["Sensitivity of AW savings to model parameters (+/-25%)"]
+        lines.append(f"(operating point: 10% C0 / 10% C1 / 80% C1E; nominal savings "
+                     f"{pct(entries[0].savings_nominal)})")
+        lines.append("")
+        rows = [
+            [
+                e.parameter,
+                pct(e.savings_low),
+                pct(e.savings_nominal),
+                pct(e.savings_high),
+                f"{e.swing * 100:.1f} pp",
+            ]
+            for e in entries
+        ]
+        lines.append(format_table(
+            ["Parameter", "-25%", "nominal", "+25%", "swing"], rows
+        ))
+        lines.append("")
+        lines.append("No single-parameter error flips the conclusion: savings stay")
+        lines.append("double-digit under every perturbation.")
+        return "\n".join(lines)
+
+
 def run(relative_delta: float = 0.25) -> List[SensitivityEntry]:
-    """Tornado entries plus the workload-residency lever."""
-    entries = tornado(relative_delta=relative_delta)
-    entries.append(residency_sensitivity(relative_delta))
-    return entries
+    """Deprecated shim over :class:`SensitivityExperiment`."""
+    return SensitivityExperiment(
+        SensitivityParams(relative_delta=relative_delta)
+    ).analyze().payload
 
 
 def main() -> None:
-    entries = run()
-    print("Sensitivity of AW savings to model parameters (+/-25%)")
-    print(f"(operating point: 10% C0 / 10% C1 / 80% C1E; nominal savings "
-          f"{pct(entries[0].savings_nominal)})\n")
-    rows = [
-        [
-            e.parameter,
-            pct(e.savings_low),
-            pct(e.savings_nominal),
-            pct(e.savings_high),
-            f"{e.swing * 100:.1f} pp",
-        ]
-        for e in entries
-    ]
-    print(format_table(
-        ["Parameter", "-25%", "nominal", "+25%", "swing"], rows
-    ))
-    print("\nNo single-parameter error flips the conclusion: savings stay")
-    print("double-digit under every perturbation.")
+    experiment = SensitivityExperiment()
+    print(experiment.render_text(experiment.analyze()))
 
 
 if __name__ == "__main__":

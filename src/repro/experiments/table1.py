@@ -7,18 +7,26 @@ its transition time, target residency and per-core power.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.core.architecture import AgileWattsDesign
 from repro.core.cstates import skylake_baseline_catalog
+from repro.experiments.api import Experiment, ExperimentResult, register_experiment
 from repro.experiments.common import format_table
 from repro.units import pretty_power, pretty_time
 
 
-def run(design: AgileWattsDesign = None) -> List[Tuple[str, str, str, str]]:
+@dataclass(frozen=True)
+class Table1Params:
+    """Design point regenerated; ``None`` uses the paper's defaults."""
+
+    design: Optional[AgileWattsDesign] = None
+
+
+def _rows(design: AgileWattsDesign) -> List[Tuple[str, str, str, str]]:
     """Rows of (state, transition time, target residency, power/core) in
     the paper's Table 1 order."""
-    design = design if design is not None else AgileWattsDesign()
     baseline = skylake_baseline_catalog()
     aw = design.catalog()
 
@@ -34,9 +42,9 @@ def run(design: AgileWattsDesign = None) -> List[Tuple[str, str, str, str]]:
             pretty_power(state.power_watts),
         )
 
-    from repro.core.cstates import C0_PN_POWER, FrequencyPoint
+    from repro.core.cstates import C0_PN_POWER
 
-    rows = [
+    return [
         row(baseline, "C0"),
         ("C0 (Pn)", "N/A", "N/A", pretty_power(C0_PN_POWER)),
         row(baseline, "C1"),
@@ -45,17 +53,49 @@ def run(design: AgileWattsDesign = None) -> List[Tuple[str, str, str, str]]:
         row(aw, "C6AE"),
         row(baseline, "C6"),
     ]
-    return rows
+
+
+@register_experiment
+class Table1Experiment(Experiment):
+    id = "table1"
+    title = "Table 1: the C-state hierarchy with AW's new states."
+    artifact = "Table 1"
+    Params = Table1Params
+
+    def analyze(self, results=None) -> ExperimentResult:
+        design = self.params.design
+        rows = _rows(design if design is not None else AgileWattsDesign())
+        records = [
+            {
+                "state": state,
+                "transition_time": transition,
+                "target_residency": residency,
+                "power_per_core": power,
+            }
+            for state, transition, residency, power in rows
+        ]
+        return self.make_result(records=records, payload=rows)
+
+    def render_text(self, result: ExperimentResult) -> str:
+        lines = ["Table 1: core C-states (Skylake baseline + AW's C6A/C6AE)"]
+        lines.append(
+            format_table(
+                ["Core C-state", "Transition time", "Target residency",
+                 "Power per core"],
+                result.payload,
+            )
+        )
+        return "\n".join(lines)
+
+
+def run(design: AgileWattsDesign = None) -> List[Tuple[str, str, str, str]]:
+    """Deprecated shim over :class:`Table1Experiment`."""
+    return Table1Experiment(Table1Params(design=design)).analyze().payload
 
 
 def main() -> None:
-    print("Table 1: core C-states (Skylake baseline + AW's C6A/C6AE)")
-    print(
-        format_table(
-            ["Core C-state", "Transition time", "Target residency", "Power per core"],
-            run(),
-        )
-    )
+    experiment = Table1Experiment()
+    print(experiment.render_text(experiment.analyze()))
 
 
 if __name__ == "__main__":

@@ -11,29 +11,56 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.core.cstates import ComponentStates, _COMPONENT_STATES
+from repro.experiments.api import Experiment, ExperimentResult, register_experiment
 from repro.experiments.common import format_table
 
 #: Paper row order.
 _ORDER = ["C0", "C1", "C6A", "C1E", "C6AE", "C6"]
 
 
+@register_experiment
+class Table2Experiment(Experiment):
+    id = "table2"
+    title = "Table 2: per-component core state in each C-state."
+    artifact = "Table 2"
+
+    def analyze(self, results=None) -> ExperimentResult:
+        rows = []
+        for name in _ORDER:
+            c: ComponentStates = _COMPONENT_STATES[name]
+            rows.append((name, c.clocks, c.adpll, c.l1l2, c.voltage, c.context))
+        records = [
+            {
+                "state": state,
+                "clocks": clocks,
+                "adpll": adpll,
+                "l1l2_cache": l1l2,
+                "voltage": voltage,
+                "context": context,
+            }
+            for state, clocks, adpll, l1l2, voltage, context in rows
+        ]
+        return self.make_result(records=records, payload=rows)
+
+    def render_text(self, result: ExperimentResult) -> str:
+        lines = ["Table 2: Skylake server core component states per C-state"]
+        lines.append(
+            format_table(
+                ["C-State", "Clocks", "ADPLL", "L1/L2 Cache", "Voltage", "Context"],
+                result.payload,
+            )
+        )
+        return "\n".join(lines)
+
+
 def run() -> List[Tuple[str, str, str, str, str, str]]:
-    """Rows of (state, clocks, adpll, l1/l2, voltage, context)."""
-    rows = []
-    for name in _ORDER:
-        c: ComponentStates = _COMPONENT_STATES[name]
-        rows.append((name, c.clocks, c.adpll, c.l1l2, c.voltage, c.context))
-    return rows
+    """Deprecated shim over :class:`Table2Experiment`."""
+    return Table2Experiment().analyze().payload
 
 
 def main() -> None:
-    print("Table 2: Skylake server core component states per C-state")
-    print(
-        format_table(
-            ["C-State", "Clocks", "ADPLL", "L1/L2 Cache", "Voltage", "Context"],
-            run(),
-        )
-    )
+    experiment = Table2Experiment()
+    print(experiment.render_text(experiment.analyze()))
 
 
 if __name__ == "__main__":

@@ -7,30 +7,84 @@ the paper reports 290-315 mW (C6A), 227-243 mW (C6AE) and 3-7% core area.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Optional
+
 from repro.core.architecture import AgileWattsDesign
 from repro.core.ppa import PPABreakdown
+from repro.experiments.api import Experiment, ExperimentResult, register_experiment
 from repro.experiments.common import format_table
 
 
+@dataclass(frozen=True)
+class Table3Params:
+    """Design point regenerated; ``None`` uses the paper's defaults."""
+
+    design: Optional[AgileWattsDesign] = None
+
+
+@register_experiment
+class Table3Experiment(Experiment):
+    id = "table3"
+    title = "Table 3: area and power requirements of AW."
+    artifact = "Table 3"
+    Params = Table3Params
+
+    def analyze(self, results=None) -> ExperimentResult:
+        design = self.params.design
+        design = design if design is not None else AgileWattsDesign()
+        breakdown = design.breakdown
+        records = [
+            {
+                "component": component,
+                "sub_component": sub,
+                "area_requirement": area,
+                "c6a_power": c6a,
+                "c6ae_power": c6ae,
+            }
+            for component, sub, area, c6a, c6ae in breakdown.rows()
+        ]
+        low, high = breakdown.total_power_range("C6A")
+        low_e, high_e = breakdown.total_power_range("C6AE")
+        records.append(
+            {
+                "component": "total",
+                "c6a_power_low_mw": low * 1e3,
+                "c6a_power_high_mw": high * 1e3,
+                "c6ae_power_low_mw": low_e * 1e3,
+                "c6ae_power_high_mw": high_e * 1e3,
+            }
+        )
+        notes = [
+            f"paper bands: C6A 290-315 mW (ours {low * 1e3:.0f}-{high * 1e3:.0f});"
+            f" C6AE 227-243 mW (ours {low_e * 1e3:.0f}-{high_e * 1e3:.0f})"
+        ]
+        return self.make_result(records=records, payload=breakdown, notes=notes)
+
+    def render_text(self, result: ExperimentResult) -> str:
+        breakdown: PPABreakdown = result.payload
+        lines = ["Table 3: area and power requirements of AW (derived)"]
+        lines.append(
+            format_table(
+                ["Component", "Sub-component", "Area requirement", "C6A power",
+                 "C6AE power"],
+                breakdown.rows(),
+            )
+        )
+        for note in result.notes:
+            lines.append("")
+            lines.append(note)
+        return "\n".join(lines)
+
+
 def run(design: AgileWattsDesign = None) -> PPABreakdown:
-    """The derived PPA breakdown."""
-    design = design if design is not None else AgileWattsDesign()
-    return design.breakdown
+    """Deprecated shim over :class:`Table3Experiment`."""
+    return Table3Experiment(Table3Params(design=design)).analyze().payload
 
 
 def main() -> None:
-    breakdown = run()
-    print("Table 3: area and power requirements of AW (derived)")
-    print(
-        format_table(
-            ["Component", "Sub-component", "Area requirement", "C6A power", "C6AE power"],
-            breakdown.rows(),
-        )
-    )
-    low, high = breakdown.total_power_range("C6A")
-    low_e, high_e = breakdown.total_power_range("C6AE")
-    print(f"\npaper bands: C6A 290-315 mW (ours {low * 1e3:.0f}-{high * 1e3:.0f});"
-          f" C6AE 227-243 mW (ours {low_e * 1e3:.0f}-{high_e * 1e3:.0f})")
+    experiment = Table3Experiment()
+    print(experiment.render_text(experiment.analyze()))
 
 
 if __name__ == "__main__":

@@ -8,9 +8,11 @@ wakes in ~70 ns.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.core.ufpg import UFPG
+from repro.experiments.api import Experiment, ExperimentResult, register_experiment
 from repro.experiments.common import format_table
 from repro.units import seconds_to_ns
 
@@ -26,30 +28,65 @@ _PRIOR_SCHEMES: List[Tuple[str, str, str, str, str]] = [
 ]
 
 
-def run(ufpg: UFPG = None) -> List[Tuple[str, str, str, str, str]]:
-    """All Table 4 rows, with AW's wake-up derived from the zone model."""
-    ufpg = ufpg if ufpg is not None else UFPG()
-    rows = list(_PRIOR_SCHEMES)
-    rows.append(
-        (
-            "AW (this work)",
-            "OoO CPU",
-            "Core idle",
-            "Most of core units",
-            f"~{seconds_to_ns(ufpg.wake_latency):.0f} ns",
+@dataclass(frozen=True)
+class Table4Params:
+    """Wake model used for the AW row; ``None`` uses the defaults."""
+
+    ufpg: Optional[UFPG] = None
+
+
+@register_experiment
+class Table4Experiment(Experiment):
+    id = "table4"
+    title = "Table 4: comparison of core power-gating schemes."
+    artifact = "Table 4"
+    Params = Table4Params
+
+    def analyze(self, results=None) -> ExperimentResult:
+        ufpg = self.params.ufpg
+        ufpg = ufpg if ufpg is not None else UFPG()
+        rows = list(_PRIOR_SCHEMES)
+        rows.append(
+            (
+                "AW (this work)",
+                "OoO CPU",
+                "Core idle",
+                "Most of core units",
+                f"~{seconds_to_ns(ufpg.wake_latency):.0f} ns",
+            )
         )
-    )
-    return rows
+        records = [
+            {
+                "technique": technique,
+                "core_type": core_type,
+                "trigger": trigger,
+                "power_gated_blocks": blocks,
+                "wake_up_overhead": overhead,
+            }
+            for technique, core_type, trigger, blocks, overhead in rows
+        ]
+        return self.make_result(records=records, payload=rows)
+
+    def render_text(self, result: ExperimentResult) -> str:
+        lines = ["Table 4: comparison of core power-gating schemes"]
+        lines.append(
+            format_table(
+                ["Technique", "Core type", "Trigger", "Power-gated blocks",
+                 "Wake-up overhead"],
+                result.payload,
+            )
+        )
+        return "\n".join(lines)
+
+
+def run(ufpg: UFPG = None) -> List[Tuple[str, str, str, str, str]]:
+    """Deprecated shim over :class:`Table4Experiment`."""
+    return Table4Experiment(Table4Params(ufpg=ufpg)).analyze().payload
 
 
 def main() -> None:
-    print("Table 4: comparison of core power-gating schemes")
-    print(
-        format_table(
-            ["Technique", "Core type", "Trigger", "Power-gated blocks", "Wake-up overhead"],
-            run(),
-        )
-    )
+    experiment = Table4Experiment()
+    print(experiment.render_text(experiment.analyze()))
 
 
 if __name__ == "__main__":

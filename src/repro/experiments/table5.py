@@ -8,18 +8,92 @@ at mid-low load where AW's absolute watt savings are largest.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
 
 from repro.analytical.cost import CostModel, yearly_savings_musd
+from repro.experiments.api import (
+    Experiment,
+    ExperimentResult,
+    ResultMap,
+    SweepParams,
+    register_experiment,
+)
 from repro.experiments.common import (
     DEFAULT_CORES,
     DEFAULT_HORIZON,
     DEFAULT_SEED,
     format_table,
-    prefetch_points,
-    run_point,
 )
+from repro.sweep import ScenarioGrid, ScenarioSpec
 from repro.workloads.memcached import MEMCACHED_RATES_KQPS
+
+
+@dataclass(frozen=True)
+class Table5Params(SweepParams):
+    """Cost-model sweep knobs; ``rates_kqps=None`` uses the paper's sweep."""
+
+    cost_model: CostModel = field(default_factory=CostModel)
+
+    default_rates = tuple(MEMCACHED_RATES_KQPS)
+
+
+@register_experiment
+class Table5Experiment(Experiment):
+    id = "table5"
+    title = "Table 5: yearly datacenter cost savings per 100K servers."
+    artifact = "Table 5"
+    Params = Table5Params
+
+    def _spec(self, config: str, kqps: float) -> ScenarioSpec:
+        p = self.params
+        return ScenarioSpec(
+            workload="memcached", config=config, qps=kqps * 1000.0,
+            horizon=p.horizon, cores=p.cores, seed=p.seed,
+        )
+
+    def grid(self) -> ScenarioGrid:
+        # Identical to Fig 8's grid at equal params: a batched run
+        # simulates the sweep once for both artifacts.
+        return ScenarioGrid([
+            self._spec(config, kqps)
+            for config in ("baseline", "AW")
+            for kqps in self.params.resolved_rates()
+        ])
+
+    def analyze(self, results: Optional[ResultMap] = None) -> ExperimentResult:
+        deltas: Dict[str, float] = {}
+        for kqps in self.params.resolved_rates():
+            base = self.point(results, self._spec("baseline", kqps))
+            aw = self.point(results, self._spec("AW", kqps))
+            deltas[f"{kqps:.0f}K"] = max(
+                0.0, base.avg_core_power - aw.avg_core_power
+            )
+        savings = yearly_savings_musd(deltas, self.params.cost_model)
+        records = [
+            {
+                "qps_label": label,
+                "power_delta_w": deltas[label],
+                "savings_musd_per_year": musd,
+            }
+            for label, musd in savings.items()
+        ]
+        return self.make_result(
+            records=records, payload=savings,
+            notes=["paper band: $0.33M - $0.59M per year"],
+        )
+
+    def render_text(self, result: ExperimentResult) -> str:
+        savings: Dict[str, float] = result.payload
+        lines = ["Table 5: AW yearly cost savings ($M per 100K servers)"]
+        rows = [[label, f"{musd:.2f}"] for label, musd in savings.items()]
+        lines.append(format_table(["QPS", "Savings ($M/yr)"], rows))
+        lines.append("")
+        lines.append("paper band: $0.33M - $0.59M per year")
+        return "\n".join(lines)
+
+    def quick_params(self) -> Table5Params:
+        return Table5Params.quick()
 
 
 def run(
@@ -29,31 +103,19 @@ def run(
     seed: int = DEFAULT_SEED,
     cost_model: CostModel = CostModel(),
 ) -> Dict[str, float]:
-    """$M saved per year per 100K servers, keyed by QPS label."""
-    rates_kqps = rates_kqps if rates_kqps is not None else MEMCACHED_RATES_KQPS
-    prefetch_points(
-        [
-            ("memcached", config, kqps * 1000.0)
-            for config in ("baseline", "AW")
-            for kqps in rates_kqps
-        ],
-        horizon, cores, seed,
+    """Deprecated shim over :class:`Table5Experiment`."""
+    experiment = Table5Experiment(
+        Table5Params(
+            rates_kqps=None if rates_kqps is None else tuple(rates_kqps),
+            horizon=horizon, cores=cores, seed=seed, cost_model=cost_model,
+        )
     )
-    deltas: Dict[str, float] = {}
-    for kqps in rates_kqps:
-        qps = kqps * 1000.0
-        base = run_point("memcached", "baseline", qps, horizon, cores, seed)
-        aw = run_point("memcached", "AW", qps, horizon, cores, seed)
-        deltas[f"{kqps:.0f}K"] = max(0.0, base.avg_core_power - aw.avg_core_power)
-    return yearly_savings_musd(deltas, cost_model)
+    return experiment.execute().payload
 
 
 def main() -> None:
-    savings = run()
-    print("Table 5: AW yearly cost savings ($M per 100K servers)")
-    rows = [[label, f"{musd:.2f}"] for label, musd in savings.items()]
-    print(format_table(["QPS", "Savings ($M/yr)"], rows))
-    print("\npaper band: $0.33M - $0.59M per year")
+    experiment = Table5Experiment()
+    print(experiment.render_text(experiment.execute()))
 
 
 if __name__ == "__main__":

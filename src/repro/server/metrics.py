@@ -86,6 +86,42 @@ class RunResult:
     def residency_of(self, name: str) -> float:
         return self.residency.get(name, 0.0)
 
+    # -- structured output --------------------------------------------------
+    def to_record(self, detail: bool = True) -> Dict[str, object]:
+        """Flat JSON-safe record of this run's observables.
+
+        The headline metrics are always present; ``detail`` adds the
+        C-state ``residency`` fractions and per-core
+        ``transitions_per_second`` dicts (key-sorted for stable output).
+        This is the canonical record shape of the Experiment API and of
+        ``repro sweep --emit residency``.
+        """
+        record: Dict[str, object] = {
+            "workload": self.workload_name,
+            "config": self.config_name,
+            "qps": self.qps,
+            "horizon": self.horizon,
+            "cores": self.cores,
+            "completed": self.completed,
+            "achieved_qps": self.achieved_qps,
+            "avg_core_power": self.avg_core_power,
+            "package_power": self.package_power,
+            "avg_latency": self.avg_latency,
+            "p99_latency": self.tail_latency,
+            "avg_latency_e2e": self.avg_latency_e2e,
+            "p99_latency_e2e": self.tail_latency_e2e,
+            "turbo_grant_rate": self.turbo_grant_rate,
+            "snoops_served": self.snoops_served,
+        }
+        if detail:
+            record["residency"] = {
+                k: v for k, v in sorted(self.residency.items())
+            }
+            record["transitions_per_second"] = {
+                k: v for k, v in sorted(self.transitions_per_second.items())
+            }
+        return record
+
     def summary(self) -> str:
         from repro.units import pretty_power, pretty_time
 

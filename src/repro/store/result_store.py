@@ -189,6 +189,37 @@ class ResultStore:
                 ),
             )
 
+    def put_many(self, items) -> None:
+        """Store many ``(key, result, spec_or_None)`` triples at once.
+
+        One connection and one transaction (``executemany``) serve the
+        whole batch, amortising sqlite round-trips on thousand-point
+        sweeps; semantics per row match :meth:`put` (last writer wins).
+        """
+        now = time.time()
+        rows = []
+        for key, result, spec in items:
+            spec_json = None
+            if spec is not None:
+                spec_json = json.dumps(spec.to_dict(), separators=(",", ":"))
+            rows.append(
+                (
+                    self._digest(key),
+                    self.salt,
+                    spec_json,
+                    json.dumps(result_to_dict(result), separators=(",", ":")),
+                    now,
+                )
+            )
+        if not rows:
+            return
+        with self._connect() as conn:
+            conn.executemany(
+                "INSERT OR REPLACE INTO results "
+                "(digest, salt, spec, result, created_at) VALUES (?, ?, ?, ?, ?)",
+                rows,
+            )
+
     def delete(self, key: Tuple) -> None:
         with self._connect() as conn:
             conn.execute("DELETE FROM results WHERE digest = ?", (self._digest(key),))
@@ -214,6 +245,23 @@ class ResultStore:
         with self._connect() as conn:
             (count,) = conn.execute("SELECT COUNT(*) FROM results").fetchone()
         return count
+
+    def stale_records(self) -> int:
+        """Records written under other salts (prune candidates)."""
+        with self._connect() as conn:
+            (count,) = conn.execute(
+                "SELECT COUNT(*) FROM results WHERE salt != ?", (self.salt,)
+            ).fetchone()
+        return count
+
+    def size_bytes(self) -> int:
+        """On-disk footprint of the database (including WAL sidecars)."""
+        total = 0
+        for suffix in ("", "-wal", "-shm"):
+            candidate = Path(str(self.path) + suffix)
+            if candidate.exists():
+                total += candidate.stat().st_size
+        return total
 
     def prune_stale(self) -> int:
         """Drop records written under other salts; returns rows removed."""

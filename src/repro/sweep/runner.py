@@ -65,6 +65,11 @@ LogHook = Callable[[str], None]
 #: Process-wide memo cache shared by every runner (unless overridden).
 _SHARED_CACHE: Dict[CacheKey, RunResult] = {}
 
+#: How many fresh results accumulate before a batched store write.
+#: Large enough to amortise sqlite round-trips on thousand-point grids,
+#: small enough that a hard kill mid-sweep loses at most one chunk.
+STORE_FLUSH_CHUNK = 128
+
 
 def clear_shared_cache() -> None:
     """Drop all memoised runs (benchmarks measuring cold runs use this)."""
@@ -577,10 +582,32 @@ class SweepRunner:
 
         if misses:
             settled = [0]
+            # Fresh results are written back in batched transactions
+            # (single connection + executemany) instead of one sqlite
+            # round-trip per point. Flushing every STORE_FLUSH_CHUNK
+            # results bounds what a hard kill can lose on a long sweep,
+            # and the final flush sits in a ``finally`` so even an
+            # aborting ``raise`` policy persists the results it banked
+            # before propagating.
+            pending_writes: List[tuple] = []
+
+            def flush_writes() -> None:
+                if not pending_writes:
+                    return
+                put_many = getattr(self.store, "put_many", None)
+                if put_many is not None:
+                    put_many(pending_writes)
+                else:  # store-like test doubles without the batched API
+                    for key, result, spec in pending_writes:
+                        self.store.put(key, result, spec=spec)
+                pending_writes.clear()
 
             def on_result(i: int, spec: ScenarioSpec, result: RunResult) -> None:
                 self.cache[spec.cache_key] = result
-                store_call(lambda: self.store.put(spec.cache_key, result, spec=spec))
+                if store_ok[0]:
+                    pending_writes.append((spec.cache_key, result, spec))
+                    if len(pending_writes) >= STORE_FLUSH_CHUNK:
+                        store_call(flush_writes)
                 settled[0] += 1
                 if self.progress is not None:
                     self.progress(settled[0], total, spec)
@@ -596,7 +623,10 @@ class SweepRunner:
                 if self.progress is not None:
                     self.progress(settled[0], total, spec)
 
-            self.executor.map_specs(misses, on_result, on_failure)
+            try:
+                self.executor.map_specs(misses, on_result, on_failure)
+            finally:
+                store_call(flush_writes)
 
         mode = getattr(self.executor, "policy", FailurePolicy()).mode
         out: List[Optional[Union[RunResult, PointFailure]]] = []
@@ -660,22 +690,30 @@ def configure_default_runner(
     )
 
 
-def result_record(spec: ScenarioSpec, result: RunResult) -> Dict[str, object]:
-    """Flat JSON-safe record of one point: spec fields + headline metrics."""
+#: Emission levels for :func:`result_record`: ``headline`` keeps the
+#: scalar metrics only; ``residency`` adds the per-C-state residency and
+#: transition-rate dicts.
+EMIT_LEVELS = ("headline", "residency")
+
+
+def result_record(
+    spec: ScenarioSpec, result: RunResult, emit: str = "headline"
+) -> Dict[str, object]:
+    """Flat JSON-safe record of one point: spec fields + run metrics.
+
+    Raises:
+        ConfigurationError: on an unknown ``emit`` level.
+    """
+    if emit not in EMIT_LEVELS:
+        raise ConfigurationError(
+            f"unknown emit level {emit!r}; choose from {list(EMIT_LEVELS)}"
+        )
+    # The spec is authoritative for identity fields: a registered alias
+    # (e.g. a custom workload whose object reports a different name) must
+    # round-trip as the key the user swept, not the simulator's label.
     record = spec.to_dict()
-    record.update(
-        completed=result.completed,
-        achieved_qps=result.achieved_qps,
-        avg_core_power=result.avg_core_power,
-        package_power=result.package_power,
-        avg_latency=result.avg_latency,
-        p99_latency=result.tail_latency,
-        avg_latency_e2e=result.avg_latency_e2e,
-        p99_latency_e2e=result.tail_latency_e2e,
-        turbo_grant_rate=result.turbo_grant_rate,
-        snoops_served=result.snoops_served,
-        residency={k: v for k, v in sorted(result.residency.items())},
-    )
+    for key, value in result.to_record(detail=(emit == "residency")).items():
+        record.setdefault(key, value)
     return record
 
 

@@ -118,6 +118,136 @@ class TestCommands:
             assert hasattr(module, "run")
 
 
+class TestRunFormats:
+    def test_format_json_is_parseable_array(self, capsys):
+        assert main(["run", "table2", "--format", "json"]) == EXIT_OK
+        data = json.loads(capsys.readouterr().out)
+        assert isinstance(data, list) and len(data) == 1
+        assert data[0]["experiment"] == "table2"
+        assert len(data[0]["records"]) == 6
+        assert data[0]["records"][0]["state"] == "C0"
+
+    def test_format_jsonl_tags_records(self, capsys):
+        assert main(["run", "table1", "table2", "--format", "jsonl"]) == EXIT_OK
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines() if line.strip()
+        ]
+        assert {record["experiment"] for record in lines} == {"table1", "table2"}
+        assert all("state" in record for record in lines)
+
+    def test_format_csv_golden(self, capsys):
+        assert main(["run", "table2", "--format", "csv"]) == EXIT_OK
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0] == "state,clocks,adpll,l1l2_cache,voltage,context"
+        assert lines[1] == "C0,running,on,coherent,active,maintained"
+        assert len(lines) == 7
+
+    def test_out_dir_writes_per_format_extension(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "records")
+        code = main(["run", "table2", "--format", "jsonl", "--out", out_dir])
+        assert code == EXIT_OK
+        path = os.path.join(out_dir, "table2.jsonl")
+        assert os.path.exists(path)
+        with open(path) as handle:
+            records = [json.loads(line) for line in handle if line.strip()]
+        assert len(records) == 6
+
+    def test_quick_sim_experiment_emits_structured_records(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "quick")
+        code = main([
+            "run", "fig9", "--quick", "--format", "json", "--out", out_dir,
+        ])
+        assert code == EXIT_OK
+        with open(os.path.join(out_dir, "fig9.json")) as handle:
+            data = json.load(handle)
+        assert data["experiment"] == "fig9"
+        assert data["records"]
+        for record in data["records"]:
+            assert record["completed"] > 0
+            assert "residency" in record
+            assert "transitions_per_second" in record
+
+    def test_run_all_quick_batches_into_one_sweep(self, capsys, monkeypatch):
+        # The union of every quick grid simulates through a *single*
+        # deduplicated run_many call holding every unique point, and
+        # every registered experiment emits records from that one batch.
+        from repro.cli import cmd_run
+        from repro.experiments.api import all_experiments, collect_grid
+        from repro.sweep import SweepRunner, clear_shared_cache
+
+        clear_shared_cache()
+        calls = []
+        original = SweepRunner.run_many
+
+        def spying_run_many(self, specs):
+            specs = list(specs)
+            calls.append(len(specs))
+            return original(self, specs)
+
+        monkeypatch.setattr(SweepRunner, "run_many", spying_run_many)
+        assert cmd_run([], run_all=True, quick=True, fmt="jsonl") == EXIT_OK
+        out = capsys.readouterr().out
+        records = [json.loads(line) for line in out.splitlines() if line.strip()]
+        ids = {record["experiment"] for record in records}
+        assert ids == set(EXPERIMENT_IDS)
+        # one batched call, sized like the deduplicated union grid
+        union = collect_grid([e.quick() for e in all_experiments()])
+        assert calls == [len(union)]
+
+
+class TestCacheCommand:
+    def _populate(self, cache_dir):
+        from repro.sweep import clear_shared_cache
+
+        clear_shared_cache()
+        assert main([
+            "sweep", "--config", "baseline", "--kqps", "20",
+            "--horizon", "0.02", "--seed", "7", "--cache-dir", cache_dir,
+        ]) == EXIT_OK
+
+    def test_stats_reports_counts(self, tmp_path, capsys):
+        cache_dir = str(tmp_path)
+        self._populate(cache_dir)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "current records: 1" in out
+        assert "stale records:   0" in out
+        assert "results.sqlite" in out
+
+    def test_prune_drops_stale_salts(self, tmp_path, capsys):
+        from repro.store import ResultStore
+
+        cache_dir = str(tmp_path)
+        self._populate(cache_dir)
+        store = ResultStore(cache_dir)
+        # Rewrite the record under a fake old-code salt.
+        stale = ResultStore(cache_dir, salt="stale-salt")
+        result = None
+        from repro.sweep import ScenarioSpec, SweepRunner
+
+        spec = ScenarioSpec(workload="memcached", config="baseline",
+                            qps=20_000, horizon=0.02, seed=7)
+        result = SweepRunner().run(spec)
+        stale.put(spec.cache_key, result, spec=spec)
+        assert store.total_records() == 2
+        capsys.readouterr()
+        assert main(["cache", "prune", "--cache-dir", cache_dir]) == EXIT_OK
+        assert "pruned 1 stale record(s)" in capsys.readouterr().out
+        assert store.total_records() == 1
+
+    def test_clear_drops_everything(self, tmp_path, capsys):
+        from repro.store import ResultStore
+
+        cache_dir = str(tmp_path)
+        self._populate(cache_dir)
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == EXIT_OK
+        assert "cleared 1 record(s)" in capsys.readouterr().out
+        assert ResultStore(cache_dir).total_records() == 0
+
+
 class TestSweepCommand:
     def test_sweep_prints_table(self, capsys):
         code = main([
@@ -369,3 +499,34 @@ class TestSweepFailureHandling:
         grid_file = self._mixed_grid_file(tmp_path, failing_workload)
         with pytest.raises(RuntimeError, match="kaboom"):
             main(["sweep", "--grid", str(grid_file), "--no-cache"])
+
+
+class TestSweepEmit:
+    def _sweep(self, tmp_path, *extra):
+        from repro.sweep import clear_shared_cache
+
+        clear_shared_cache()
+        out_file = tmp_path / "points.jsonl"
+        argv = [
+            "sweep", "--config", "baseline", "--kqps", "20",
+            "--horizon", "0.02", "--seed", "7", "--no-cache",
+            "-o", str(out_file),
+        ] + list(extra)
+        assert main(argv) == EXIT_OK
+        with open(out_file) as handle:
+            return [json.loads(line) for line in handle]
+
+    def test_default_emit_is_headline_only(self, tmp_path):
+        (record,) = self._sweep(tmp_path)
+        assert record["completed"] > 0
+        assert "residency" not in record
+        assert "transitions_per_second" not in record
+
+    def test_emit_residency_adds_detail(self, tmp_path):
+        (record,) = self._sweep(tmp_path, "--emit", "residency")
+        assert record["completed"] > 0
+        assert sum(record["residency"].values()) == pytest.approx(1.0, abs=1e-6)
+        assert record["transitions_per_second"]
+        # spec fields survive alongside the detail
+        assert record["workload"] == "memcached"
+        assert record["governor"] == "menu"

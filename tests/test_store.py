@@ -237,3 +237,68 @@ class TestRunnerIntegration:
         results = fresh.run_grid(grid)
         assert simulated == []
         assert all(r.completed > 0 for r in results)
+
+
+class TestBatchedWrites:
+    def test_put_many_round_trip(self, tmp_path, result):
+        store = ResultStore(tmp_path, salt="s1")
+        specs = [_spec(), _spec(qps=30_000)]
+        store.put_many([(s.cache_key, result, s) for s in specs])
+        assert len(store) == 2
+        found = store.get_many([s.cache_key for s in specs])
+        assert set(found) == {s.cache_key for s in specs}
+        for got in found.values():
+            assert got.avg_core_power == result.avg_core_power
+            assert got.server_latency.p99 == result.server_latency.p99
+
+    def test_put_many_empty_is_noop(self, tmp_path):
+        store = ResultStore(tmp_path, salt="s1")
+        store.put_many([])
+        assert len(store) == 0
+
+    def test_put_many_last_writer_wins(self, tmp_path, result):
+        store = ResultStore(tmp_path, salt="s1")
+        spec = _spec()
+        store.put_many([(spec.cache_key, result, spec)])
+        store.put_many([(spec.cache_key, result, None)])
+        assert len(store) == 1
+
+    def test_run_many_flushes_one_batch(self, tmp_path):
+        """The runner writes back via a single put_many per run_many."""
+        calls = []
+
+        class SpyStore(ResultStore):
+            def put_many(self, items):
+                items = list(items)
+                calls.append(len(items))
+                super().put_many(items)
+
+            def put(self, key, result, spec=None):  # pragma: no cover
+                raise AssertionError("per-point put must not be used")
+
+        store = SpyStore(tmp_path, salt="s1")
+        specs = [_spec(), _spec(qps=30_000), _spec(qps=40_000)]
+        SweepRunner(cache={}, store=store).run_many(specs)
+        assert calls == [3]
+        assert len(store) == 3
+
+    def test_raise_policy_still_banks_completed_results(self, tmp_path):
+        """The finally-flush persists results banked before an abort."""
+        from repro.sweep.spec import WORKLOAD_FACTORIES, register_workload
+
+        def explode():
+            raise RuntimeError("kaboom")
+
+        register_workload("explosive_store_test", explode)
+        try:
+            store = ResultStore(tmp_path, salt="s1")
+            specs = [
+                _spec(),
+                _spec(workload="explosive_store_test"),
+            ]
+            with pytest.raises(RuntimeError, match="kaboom"):
+                SweepRunner(cache={}, store=store).run_many(specs)
+            # the good point completed first and must have been persisted
+            assert store.get(specs[0].cache_key) is not None
+        finally:
+            del WORKLOAD_FACTORIES["explosive_store_test"]
