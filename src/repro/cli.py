@@ -9,9 +9,13 @@ Usage::
     python -m repro run --all --jobs 4   # everything, 4 worker processes
     python -m repro run --all --format jsonl --out results   # structured
     python -m repro run --all --quick    # reduced grids (CI smoke)
+    python -m repro run fanout_tail --quick             # tail-at-scale figure
+    python -m repro run fanout_tail --params nodes=16 fanouts=1,4,16
     python -m repro sweep --config baseline AW --kqps 10 100 500 --jobs 4
+    python -m repro sweep --nodes 8 --fanout 4 --kqps 320 --jobs 4  # cluster
     python -m repro sweep --grid grid.jsonl --on-error skip -o out.jsonl
     python -m repro cache stats          # result-store hygiene
+    python -m repro cache prune --max-bytes 100000000   # LRU size cap
 
 Experiments come from the declarative registry
 (:mod:`repro.experiments.api`): ``run`` collects the union of every
@@ -47,6 +51,7 @@ from repro.experiments.api import (
     experiment_ids,
     get_experiment,
     output_extension,
+    parse_param_overrides,
     render,
     run_experiments,
 )
@@ -145,6 +150,7 @@ def cmd_run(
     cache_dir: Optional[str] = None,
     fmt: str = "table",
     quick: bool = False,
+    params: Optional[List[str]] = None,
 ) -> int:
     """Run experiments through one batched sweep; print or write files."""
     known = experiment_ids()
@@ -160,16 +166,40 @@ def cmd_run(
             file=sys.stderr,
         )
         return EXIT_USAGE
+    if params and len(targets) != 1:
+        # key=value overrides target ONE Params dataclass; applying the
+        # same keys across experiments would fail (or worse, silently
+        # mean different things), so require an unambiguous selection.
+        print(
+            "--params overrides the parameters of exactly one experiment; "
+            f"got {len(targets)} selected",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
     experiments = [get_experiment(experiment_id) for experiment_id in targets]
     if quick:
         experiments = [experiment.quick() for experiment in experiments]
+    if params:
+        try:
+            # Overrides layer on top of --quick, so `--quick --params
+            # nodes=2` keeps the reduced grid with one knob changed.
+            experiments = [parse_param_overrides(experiments[0], params)]
+        except ReproError as exc:
+            print(f"invalid --params: {exc}", file=sys.stderr)
+            return EXIT_USAGE
     progress = None
     if jobs is not None and jobs > 1:
         progress = ProgressRenderer(label="run")
     with _configured_runner(jobs, no_cache, cache_dir, progress=progress) as runner:
         # One deduplicated batched sweep for the union of all grids:
         # shared points (Fig 10 ⊇ Fig 9, Table 5 ⊇ Fig 8) simulate once.
-        results = run_experiments(experiments, runner=runner)
+        try:
+            results = run_experiments(experiments, runner=runner)
+        except ReproError as exc:
+            # e.g. a --params override that is type-valid but
+            # domain-invalid only once the grid's specs are built.
+            print(f"run failed: {exc}", file=sys.stderr)
+            return EXIT_ERROR
 
     json_envelopes = []
     for experiment in experiments:
@@ -248,6 +278,10 @@ def _build_sweep_grid(args: argparse.Namespace) -> ScenarioGrid:
             ("--governor", args.governor != ["menu"]),
             ("--turbo/--no-turbo", args.turbo or args.no_turbo),
             ("--no-snoops", args.no_snoops),
+            ("--nodes", args.nodes != [1]),
+            ("--balancer", args.balancer != ["random"]),
+            ("--fanout", args.fanout != [1]),
+            ("--hedge-ms", args.hedge_ms is not None),
         ]
         conflicting = [name for name, given in axis_flags if given]
         if conflicting:
@@ -273,6 +307,10 @@ def _build_sweep_grid(args: argparse.Namespace) -> ScenarioGrid:
         governors=args.governor,
         turbo=turbo,
         snoops=not args.no_snoops,
+        nodes=args.nodes,
+        balancers=args.balancer,
+        fanouts=args.fanout,
+        hedge_ms=args.hedge_ms,
     )
 
 
@@ -373,6 +411,14 @@ def cmd_cache(args: argparse.Namespace) -> int:
     """Result-store hygiene: stats, prune stale salts, clear everything."""
     import sqlite3
 
+    if args.max_bytes is not None and args.action != "prune":
+        # Accepting the flag on stats/clear and silently ignoring it
+        # would be worse than rejecting it.
+        print(
+            f"--max-bytes only applies to `cache prune`, not `cache {args.action}`",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
     try:
         store = ResultStore(args.cache_dir)
     except (OSError, sqlite3.Error) as exc:
@@ -389,6 +435,17 @@ def cmd_cache(args: argparse.Namespace) -> int:
         elif args.action == "prune":
             removed = store.prune_stale()
             print(f"pruned {removed} stale record(s) from {store.path}")
+            if args.max_bytes is not None:
+                try:
+                    evicted = store.prune_lru(args.max_bytes)
+                except ReproError as exc:
+                    print(f"invalid --max-bytes: {exc}", file=sys.stderr)
+                    return EXIT_USAGE
+                print(
+                    f"evicted {evicted} least-recently-used record(s) "
+                    f"to fit {args.max_bytes} bytes "
+                    f"(database now {store.db_bytes()} bytes)"
+                )
         else:  # clear
             total = store.total_records()
             store.clear()
@@ -431,6 +488,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--quick", action="store_true",
         help="reduced grids (one light rate, short horizon) for smoke runs",
+    )
+    run.add_argument(
+        "--params", nargs="+", metavar="KEY=VALUE", default=None,
+        help="override fields of the selected experiment's Params dataclass "
+             "(typed by the field annotation; tuples parse from "
+             "comma-separated items, e.g. fanouts=1,2,4); requires exactly "
+             "one experiment",
     )
     run.add_argument(
         "-j", "--jobs", type=int, metavar="N",
@@ -478,6 +542,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-snoops", action="store_true", help="disable background snoop traffic"
     )
     sweep.add_argument(
+        "--nodes", nargs="+", type=int, default=[1],
+        help="cluster sizes: simulate N server nodes behind a load "
+             "balancer (default: 1, the single-node path)",
+    )
+    sweep.add_argument(
+        "--balancer", nargs="+", default=["random"],
+        help="cluster load balancers (random, round_robin, jsq, power_of_two)",
+    )
+    sweep.add_argument(
+        "--fanout", nargs="+", type=int, default=[1],
+        help="leaf sub-requests per logical request (completes at the "
+             "slowest leaf); must not exceed --nodes",
+    )
+    sweep.add_argument(
+        "--hedge-ms", type=float, default=None, metavar="MS",
+        help="hedged requests: duplicate leaves still outstanding after "
+             "MS milliseconds onto another node (first answer wins)",
+    )
+    sweep.add_argument(
         "-j", "--jobs", type=int, metavar="N",
         help="simulate points over N worker processes",
     )
@@ -517,7 +600,13 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "action", choices=["stats", "prune", "clear"],
         help="stats: show counts/size; prune: drop records from other code "
-             "versions; clear: drop everything",
+             "versions (add --max-bytes for LRU eviction); clear: drop "
+             "everything",
+    )
+    cache.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="with prune: additionally evict least-recently-accessed "
+             "records until the store fits N bytes",
     )
     cache.add_argument(
         "--cache-dir", metavar="DIR",
@@ -537,7 +626,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     return cmd_run(
         args.ids, args.all, args.output_dir, args.jobs,
         no_cache=args.no_cache, cache_dir=args.cache_dir,
-        fmt=args.format, quick=args.quick,
+        fmt=args.format, quick=args.quick, params=args.params,
     )
 
 

@@ -1,0 +1,206 @@
+"""Multi-node cluster simulation: K servers behind a balancer + fan-out.
+
+A :class:`Cluster` composes ``K`` independently-seeded
+:class:`~repro.server.node.ServerNode` instances on **one shared
+discrete-event simulator** (the SimBricks idea of composing independent
+node simulators into a single virtual testbed), puts a pluggable
+:class:`~repro.cluster.balancer.LoadBalancer` in front of them, and runs
+logical requests through a :class:`~repro.cluster.fanout.FanoutDispatcher`
+— so a request touching ``R`` leaves inherits the *max* of ``R`` wakeup
+penalties, the fleet-level amplification that makes deep idle states a
+datacenter problem rather than a per-server curiosity.
+
+Determinism: every RNG stream is derived from the cluster seed (logical
+arrivals from ``seed + 1`` exactly like a standalone node; node ``i``'s
+dispatch/snoop streams from ``seed + NODE_SEED_STRIDE * i``; the balancer
+from its own offset), so equal seeds give bit-identical cluster results
+regardless of executor. A one-node, fanout-1 cluster replays the exact
+event sequence of a standalone :class:`ServerNode` and reproduces its
+results bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.balancer import make_balancer
+from repro.cluster.fanout import FanoutDispatcher
+from repro.errors import ConfigurationError
+from repro.server.config import ServerConfiguration
+from repro.server.metrics import RunResult
+from repro.server.node import ServerNode
+from repro.simkit.engine import Simulator
+from repro.workloads.base import Workload
+from repro.workloads.loadgen import (
+    ArrivalStream,
+    LoadGenerator,
+    OpenLoopPoisson,
+)
+
+#: Seed stride between nodes: node ``i`` runs at ``seed + i * stride``, so
+#: node 0 matches a standalone ServerNode and nodes never share the
+#: dispatch/snoop streams a standalone node derives at ``seed + 1`` and
+#: ``seed + 100 + core``.
+NODE_SEED_STRIDE = 9973
+
+#: Offset of the balancer's private RNG stream.
+BALANCER_SEED_OFFSET = 777_001
+
+
+class Cluster:
+    """K server nodes behind a load balancer with request fan-out.
+
+    Args:
+        workload_factory: ``factory(node_index) -> Workload`` — a *fresh*
+            workload per node so service-time RNG streams are independent
+            (``ScenarioSpec.build_workload`` has exactly this shape).
+        configuration: named server configuration, shared by all nodes.
+        qps: offered **logical** request rate for the whole cluster; each
+            logical request spawns ``fanout`` leaf sub-requests, so the
+            per-node leaf rate is ``qps * fanout / nodes``.
+        nodes: server count.
+        cores: cores per node.
+        balancer: registered balancer name (see
+            :data:`~repro.cluster.balancer.BALANCER_FACTORIES`).
+        fanout: leaves per logical request (``1 <= fanout <= nodes``).
+        hedge_s: optional hedged-request delay in seconds.
+        governor_factory: idle-governor factory shared by all cores.
+    """
+
+    def __init__(
+        self,
+        workload_factory: Callable[[int], Workload],
+        configuration: ServerConfiguration,
+        qps: float,
+        nodes: int = 2,
+        cores: int = 10,
+        horizon: float = 0.5,
+        seed: int = 42,
+        balancer: str = "random",
+        fanout: int = 1,
+        hedge_s: Optional[float] = None,
+        snoops_enabled: bool = True,
+        governor_factory=None,
+        uncore_watts: float = 38.0,
+        loadgen: Optional[LoadGenerator] = None,
+    ):
+        if nodes <= 0:
+            raise ConfigurationError(f"need at least one node, got {nodes}")
+        if qps <= 0:
+            raise ConfigurationError(f"qps must be positive, got {qps}")
+        if horizon <= 0:
+            raise ConfigurationError(f"horizon must be positive, got {horizon}")
+        self.configuration = configuration
+        self.qps = qps
+        self.n_nodes = nodes
+        self.cores_per_node = cores
+        self.horizon = horizon
+        self.seed = seed
+        self.sim = Simulator()
+        self._workloads = [workload_factory(i) for i in range(nodes)]
+        # Per-node leaf rate, only used for the node's (unused) internal
+        # loadgen and its per-node result record; arrivals are injected.
+        leaf_qps = qps * fanout / nodes
+        self.server_nodes: List[ServerNode] = [
+            ServerNode(
+                workload=self._workloads[i],
+                configuration=configuration,
+                qps=leaf_qps,
+                cores=cores,
+                horizon=horizon,
+                seed=seed + NODE_SEED_STRIDE * i,
+                uncore_watts=uncore_watts,
+                snoops_enabled=snoops_enabled,
+                governor_factory=governor_factory,
+                sim=self.sim,
+                external_arrivals=True,
+            )
+            for i in range(nodes)
+        ]
+        balancer_obj = make_balancer(balancer)
+        balancer_obj.setup(nodes, random.Random(seed + BALANCER_SEED_OFFSET))
+        self.balancer = balancer_obj
+        self.dispatcher = FanoutDispatcher(
+            self.sim, self.server_nodes, balancer_obj,
+            fanout=fanout, hedge_s=hedge_s,
+        )
+        # The logical arrival stream uses the same derivation as a
+        # standalone node's internal loadgen (seed + 1) and the same
+        # shared chaining machinery (ArrivalStream), which is what makes
+        # the one-node cluster replay a ServerNode run exactly.
+        self._loadgen: LoadGenerator = loadgen or OpenLoopPoisson(qps, seed=seed + 1)
+
+    # -- run ---------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Simulate the full horizon and aggregate cluster observables."""
+        ArrivalStream(
+            self.sim, self._loadgen, self.horizon,
+            lambda arrival: self.dispatcher.dispatch(),
+        ).start()
+        for node in self.server_nodes:
+            node.start()
+        self.sim.run(until=self.horizon)
+        return self.collect()
+
+    def collect(self) -> RunResult:
+        """Cluster-level ``RunResult`` plus per-node residency breakdowns.
+
+        Aggregation: residencies, transition rates, per-core power and
+        turbo grant rate average over nodes (every node has the same core
+        count); package power and snoops sum (the cluster's total);
+        latency/completed are the *logical* request view from the
+        dispatcher. A one-node cluster therefore reproduces the standalone
+        node's numbers exactly.
+        """
+        per_node = [node.collect() for node in self.server_nodes]
+        k = len(per_node)
+        residency: Dict[str, float] = {}
+        transitions: Dict[str, float] = {}
+        for result in per_node:
+            for name, value in result.residency.items():
+                residency[name] = residency.get(name, 0.0) + value
+            for name, value in result.transitions_per_second.items():
+                transitions[name] = transitions.get(name, 0.0) + value
+        residency = {name: value / k for name, value in residency.items()}
+        transitions = {name: value / k for name, value in transitions.items()}
+
+        node_detail = [
+            {
+                "node": i,
+                "seed": node.seed,
+                "completed": result.completed,
+                "avg_leaf_latency": result.avg_latency,
+                "p99_leaf_latency": (
+                    result.tail_latency if result.completed else None
+                ),
+                "avg_core_power": result.avg_core_power,
+                "package_power": result.package_power,
+                "turbo_grant_rate": result.turbo_grant_rate,
+                "snoops_served": result.snoops_served,
+                "residency": {s: v for s, v in sorted(result.residency.items())},
+                "transitions_per_second": {
+                    s: v for s, v in sorted(result.transitions_per_second.items())
+                },
+            }
+            for i, (node, result) in enumerate(zip(self.server_nodes, per_node))
+        ]
+
+        return RunResult(
+            config_name=self.configuration.name,
+            workload_name=self._workloads[0].name,
+            qps=self.qps,
+            horizon=self.horizon,
+            cores=self.n_nodes * self.cores_per_node,
+            residency=residency,
+            transitions_per_second=transitions,
+            avg_core_power=sum(r.avg_core_power for r in per_node) / k,
+            package_power=sum(r.package_power for r in per_node),
+            server_latency=self.dispatcher.latency,
+            completed=self.dispatcher.completed,
+            turbo_grant_rate=sum(r.turbo_grant_rate for r in per_node) / k,
+            network_latency=self._workloads[0].network_latency,
+            snoops_served=sum(r.snoops_served for r in per_node),
+            node_detail=node_detail,
+            hedges_issued=self.dispatcher.hedges_issued,
+        )

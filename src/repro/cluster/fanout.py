@@ -1,0 +1,143 @@
+"""Request fan-out: the tail-at-scale mechanism.
+
+A logical request that touches ``R`` leaf servers completes only when the
+*slowest* leaf answers, so its latency is the max of ``R`` draws from the
+per-node latency distribution — which is exactly why a p99 wakeup penalty
+on one server becomes a p63 event for a 100-leaf request (Dean &
+Barroso's "The Tail at Scale"). The :class:`FanoutDispatcher` implements
+that composition over any set of node-like objects, plus the standard
+mitigation: *hedged requests*, where leaves still outstanding after a
+fixed delay are duplicated onto another node and the first answer wins.
+
+Nodes are duck-typed: anything with ``inject(on_complete)`` (accept one
+request now, call ``on_complete(completion_time)`` when served) and an
+``in_flight`` count works — :class:`repro.server.node.ServerNode` in
+production, trivial stubs in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cluster.balancer import LoadBalancer
+from repro.errors import ConfigurationError
+from repro.simkit.engine import Simulator
+from repro.simkit.stats import PercentileTracker
+
+
+class _Logical:
+    """One in-flight logical request: completes when every leaf has."""
+
+    __slots__ = ("arrival", "remaining")
+
+    def __init__(self, arrival: float, remaining: int):
+        self.arrival = arrival
+        self.remaining = remaining
+
+
+class _Leaf:
+    """One leaf sub-request (possibly duplicated by a hedge)."""
+
+    __slots__ = ("logical", "home", "done")
+
+    def __init__(self, logical: _Logical, home: int):
+        self.logical = logical
+        self.home = home
+        self.done = False
+
+
+class FanoutDispatcher:
+    """Splits logical requests into leaves and joins on the slowest.
+
+    Args:
+        sim: the shared simulator (supplies the clock for hedge timers).
+        nodes: node-like targets (``inject``/``in_flight``).
+        balancer: a :class:`LoadBalancer` already ``setup()`` for
+            ``len(nodes)``.
+        fanout: leaves per logical request (distinct nodes).
+        hedge_s: if set, leaves still outstanding after this many seconds
+            are duplicated onto another node (first answer wins).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: Sequence,
+        balancer: LoadBalancer,
+        fanout: int = 1,
+        hedge_s: Optional[float] = None,
+    ):
+        if not nodes:
+            raise ConfigurationError("need at least one node")
+        if not 1 <= fanout <= len(nodes):
+            raise ConfigurationError(
+                f"fanout must be in [1, {len(nodes)}] (nodes), got {fanout}"
+            )
+        if hedge_s is not None and hedge_s <= 0:
+            raise ConfigurationError(f"hedge delay must be positive, got {hedge_s}")
+        self.sim = sim
+        self.nodes = list(nodes)
+        self.balancer = balancer
+        self.fanout = fanout
+        self.hedge_s = hedge_s
+        #: Logical (join-on-slowest-leaf) request latency.
+        self.latency = PercentileTracker()
+        #: Logical requests fully completed.
+        self.completed = 0
+        #: Duplicate leaves issued by the hedge timer.
+        self.hedges_issued = 0
+
+    # -- dispatch ----------------------------------------------------------
+    def _loads(self) -> List[int]:
+        return [node.in_flight for node in self.nodes]
+
+    def dispatch(self) -> None:
+        """Fan one logical request (arriving now) out over the cluster."""
+        arrival = self.sim.now
+        targets = self.balancer.pick(self.fanout, self._loads())
+        logical = _Logical(arrival, len(targets))
+        leaves = [_Leaf(logical, idx) for idx in targets]
+        for leaf in leaves:
+            self._send(leaf, leaf.home)
+        if self.hedge_s is not None:
+            self.sim.schedule(
+                self.hedge_s, lambda: self._hedge(leaves), label="hedge"
+            )
+
+    def _send(self, leaf: _Leaf, node_index: int) -> None:
+        self.nodes[node_index].inject(
+            lambda now, leaf=leaf: self._leaf_done(leaf, now)
+        )
+
+    def _leaf_done(self, leaf: _Leaf, now: float) -> None:
+        if leaf.done:
+            return  # the hedged duplicate lost the race
+        leaf.done = True
+        logical = leaf.logical
+        logical.remaining -= 1
+        if logical.remaining == 0:
+            self.latency.add(now - logical.arrival)
+            self.completed += 1
+
+    def _hedge(self, leaves: Sequence[_Leaf]) -> None:
+        """Duplicate still-outstanding leaves onto *other* nodes.
+
+        A one-node cluster has no other node to duplicate onto, so no
+        hedge is issued there — a same-node duplicate would only inflate
+        the slow node's queue.
+        """
+        if len(self.nodes) == 1:
+            return
+        for leaf in leaves:
+            if leaf.done:
+                continue
+            # Re-read loads per leaf: each duplicate raises its target's
+            # in-flight count, and a stale snapshot would let a
+            # queue-aware balancer dog-pile every duplicate onto the
+            # same least-loaded node.
+            alt = self.balancer.pick(1, self._loads())[0]
+            if alt == leaf.home:
+                # Duplicating onto the same (slow) node buys nothing.
+                alt = (alt + 1) % len(self.nodes)
+            self.hedges_issued += 1
+            self._send(leaf, alt)

@@ -47,6 +47,7 @@ from repro.experiments import (  # noqa: E402  (registration imports)
     governor_study,
     proportionality,
     sensitivity,
+    cluster,
 )
 
 __all__ = [
@@ -71,4 +72,5 @@ __all__ = [
     "governor_study",
     "proportionality",
     "sensitivity",
+    "cluster",
 ]

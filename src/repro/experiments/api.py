@@ -44,7 +44,9 @@ import abc
 import csv
 import io
 import json
-from dataclasses import dataclass, field
+import types
+import typing
+from dataclasses import dataclass, field, fields as dataclass_fields, replace
 from typing import (
     ClassVar,
     Dict,
@@ -309,6 +311,109 @@ def _ensure_registry_populated() -> None:
     """
     if not _REGISTRY:
         import repro.experiments  # noqa: F401  (imports register the classes)
+
+
+# -- CLI parameter overrides ---------------------------------------------------
+
+#: Raw strings accepted as None for Optional[...] parameter fields.
+_NONE_WORDS = ("none", "null")
+_TRUE_WORDS = ("true", "1", "yes", "on")
+_FALSE_WORDS = ("false", "0", "no", "off")
+
+#: Union spellings: ``Optional[T]``/``Union[...]`` resolve to
+#: ``typing.Union``; PEP 604 ``T | None`` (Python >= 3.10) to
+#: ``types.UnionType``.
+_UNION_ORIGINS = (typing.Union,) + (
+    (types.UnionType,) if hasattr(types, "UnionType") else ()
+)
+
+
+def _coerce_value(annotation, raw: str, key: str):
+    """Parse ``raw`` into the annotated type of one Params field.
+
+    Handles the shapes experiment ``Params`` dataclasses actually use:
+    scalars (str/int/float/bool), ``Optional[T]`` and (optionally
+    variadic) tuples, which parse from comma-separated items.
+
+    Raises:
+        ConfigurationError: on unparseable values or unsupported types.
+    """
+    origin = typing.get_origin(annotation)
+    if origin in _UNION_ORIGINS:
+        inner = [a for a in typing.get_args(annotation) if a is not type(None)]
+        if raw.strip().lower() in _NONE_WORDS:
+            return None
+        return _coerce_value(inner[0], raw, key)
+    if origin is tuple or annotation is tuple:
+        args = typing.get_args(annotation)
+        element = args[0] if args else str
+        raw = raw.strip()
+        if not raw:
+            # An empty axis is never a useful override; downstream code
+            # (grids, min() baselines) assumes at least one element.
+            raise ConfigurationError(
+                f"--params {key}: expected at least one comma-separated item"
+            )
+        return tuple(
+            _coerce_value(element, part.strip(), key) for part in raw.split(",")
+        )
+    if annotation is bool:
+        word = raw.strip().lower()
+        if word in _TRUE_WORDS:
+            return True
+        if word in _FALSE_WORDS:
+            return False
+        raise ConfigurationError(
+            f"--params {key}: cannot parse {raw!r} as bool "
+            f"(use true/false)"
+        )
+    if annotation in (int, float, str):
+        try:
+            return annotation(raw)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"--params {key}: cannot parse {raw!r} as "
+                f"{annotation.__name__}"
+            ) from exc
+    raise ConfigurationError(
+        f"--params {key}: unsupported parameter type {annotation!r}"
+    )
+
+
+def parse_param_overrides(
+    experiment: Experiment, assignments: Sequence[str]
+) -> Experiment:
+    """A copy of ``experiment`` with ``key=value`` overrides applied.
+
+    Each assignment names a field of the experiment's ``Params``
+    dataclass; values are coerced to the field's annotated type (tuples
+    parse from comma-separated items, ``none`` clears Optional fields).
+
+    Raises:
+        ConfigurationError: on malformed assignments, unknown keys (the
+            error lists the valid ones), or uncoercible values.
+    """
+    params = experiment.params
+    hints = typing.get_type_hints(type(params))
+    known = {f.name for f in dataclass_fields(params)}
+    overrides: Dict[str, object] = {}
+    for assignment in assignments:
+        key, sep, raw = assignment.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ConfigurationError(
+                f"--params expects key=value, got {assignment!r}"
+            )
+        if key not in known:
+            valid = ", ".join(sorted(known)) or "(none: this experiment has no parameters)"
+            raise ConfigurationError(
+                f"experiment {experiment.id!r} has no parameter {key!r}; "
+                f"valid keys: {valid}"
+            )
+        overrides[key] = _coerce_value(hints.get(key, str), raw, key)
+    if not overrides:
+        return experiment
+    return type(experiment)(params=replace(params, **overrides))
 
 
 # -- batched cross-experiment execution ---------------------------------------

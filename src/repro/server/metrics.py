@@ -10,7 +10,7 @@ and average/tail latency, server-side and end-to-end (Figs 8c, 9a/b, 10,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Optional
 
 from repro.simkit.stats import PercentileTracker
 
@@ -34,6 +34,11 @@ class RunResult:
         completed: requests completed.
         turbo_grant_rate: fraction of busy-period starts granted Turbo.
         network_latency: constant network component for end-to-end views.
+        node_detail: cluster runs only — one JSON-safe breakdown dict per
+            node (residency, transitions, power, leaf latency); ``None``
+            for single-node runs, so their records are unchanged.
+        hedges_issued: cluster runs only — duplicate leaves issued by the
+            hedged-request timer.
     """
 
     config_name: str
@@ -50,6 +55,8 @@ class RunResult:
     turbo_grant_rate: float
     network_latency: float
     snoops_served: int = 0
+    node_detail: Optional[List[Dict[str, object]]] = None
+    hedges_issued: int = 0
 
     # -- latency views ------------------------------------------------------
     @property
@@ -113,6 +120,10 @@ class RunResult:
             "turbo_grant_rate": self.turbo_grant_rate,
             "snoops_served": self.snoops_served,
         }
+        if self.node_detail is not None:
+            # Cluster runs only, so single-node records keep their shape.
+            record["nodes"] = len(self.node_detail)
+            record["hedges_issued"] = self.hedges_issued
         if detail:
             record["residency"] = {
                 k: v for k, v in sorted(self.residency.items())
@@ -120,6 +131,8 @@ class RunResult:
             record["transitions_per_second"] = {
                 k: v for k, v in sorted(self.transitions_per_second.items())
             }
+            if self.node_detail is not None:
+                record["node_detail"] = self.node_detail
         return record
 
     def summary(self) -> str:

@@ -25,7 +25,7 @@ import random
 from collections import deque
 from dataclasses import dataclass
 from enum import Enum
-from typing import Deque, Dict, Iterator, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 from repro.core.cstates import CState, FrequencyPoint
 from repro.errors import ConfigurationError, SimulationError
@@ -40,7 +40,7 @@ from repro.uarch.core import Core
 from repro.uarch.package import Package, PackageConfig
 from repro.uarch.turbo import TurboBudget, TurboConfig
 from repro.workloads.base import Workload
-from repro.workloads.loadgen import LoadGenerator, OpenLoopPoisson
+from repro.workloads.loadgen import ArrivalStream, LoadGenerator, OpenLoopPoisson
 
 
 class CoreMode(Enum):
@@ -53,6 +53,9 @@ class CoreMode(Enum):
 @dataclass
 class _Request:
     arrival: float
+    #: Cluster hook: called with the completion time when the request
+    #: finishes service (see :meth:`ServerNode.inject`).
+    on_complete: Optional[Callable[[float], None]] = None
 
 
 class _CoreRuntime:
@@ -91,6 +94,8 @@ class ServerNode:
         turbo_config: Optional[TurboConfig] = None,
         governor_factory=None,
         trace: Optional[TraceRecorder] = None,
+        sim: Optional[Simulator] = None,
+        external_arrivals: bool = False,
     ):
         if cores <= 0:
             raise ConfigurationError("need at least one core")
@@ -102,10 +107,14 @@ class ServerNode:
         self.n_cores = cores
         self.horizon = horizon
         self.seed = seed
-        self.sim = Simulator()
+        #: A cluster passes its shared simulator so K nodes advance one
+        #: clock; standalone nodes own a private one.
+        self.sim = sim if sim is not None else Simulator()
+        #: When True the node never arms its own load generator: requests
+        #: arrive solely through :meth:`inject` (cluster dispatch).
+        self.external_arrivals = external_arrivals
         self._dispatch_rng = random.Random(seed)
         self._loadgen: LoadGenerator = OpenLoopPoisson(qps, seed=seed + 1)
-        self._arrival_iter: Iterator[float] = iter(())
 
         catalog = configuration.catalog
         make_governor = governor_factory or (lambda: MenuGovernor())
@@ -126,39 +135,23 @@ class ServerNode:
         self.latency = PercentileTracker()
         self.completed = 0
         self.snoops_served = 0
+        #: Requests accepted but not yet finished (queued + in service);
+        #: the load signal cluster balancers read.
+        self.in_flight = 0
         self.trace = trace if trace is not None else NULL_TRACE
 
     # -- wiring ------------------------------------------------------------
     def _schedule_arrivals(self) -> None:
-        """Arm the arrival stream, one in-flight arrival event at a time.
+        """Arm the lazy arrival stream (see :class:`ArrivalStream`): the
+        heap holds O(cores + in-flight) events instead of O(qps * horizon).
 
-        Arrivals stream lazily: each arrival event schedules its successor
-        when it fires, so the heap holds O(cores + in-flight) events instead
-        of the O(qps * horizon) that eagerly pre-scheduling the whole
-        schedule would pin (40 000 events for a 100 KQPS x 0.4 s run).
+        The stream is built here, not in ``__init__``, so a
+        ``_loadgen`` swapped in before :meth:`run` (tests exercising
+        misbehaving generators do this) takes effect.
         """
-        self._arrival_iter = self._loadgen.arrivals(self.horizon)
-        self._schedule_next_arrival()
-
-    def _schedule_next_arrival(self) -> None:
-        for t in self._arrival_iter:
-            if t >= self.horizon:
-                # Generators bound arrivals to [0, horizon), but guard anyway
-                # so a custom LoadGenerator cannot fire past the accounting
-                # window (mirrors the snoop-side `when >= self.horizon`
-                # check); keep consuming in case later yields are in-window.
-                continue
-            self.sim.schedule_at(t, lambda t=t: self._arrival_fired(t), label="arrival")
-            return
-
-    def _arrival_fired(self, arrival: float) -> None:
-        # Chain the successor before dispatching so, on an exact time tie
-        # with the events this dispatch spawns, the next arrival still fires
-        # first. (Ties against events scheduled by *earlier* dispatches are
-        # resolved by scheduling order, as with any event source; the
-        # stochastic float-time workloads here never tie.)
-        self._schedule_next_arrival()
-        self._on_arrival(arrival)
+        ArrivalStream(
+            self.sim, self._loadgen, self.horizon, self._on_arrival
+        ).start()
 
     def _arm_snoops(self) -> None:
         if not self._snoops_enabled:
@@ -176,10 +169,25 @@ class ServerNode:
         self.sim.schedule_at(when, lambda: self._on_snoop(idx), label=f"snoop{idx}")
 
     # -- request path ------------------------------------------------------------
-    def _on_arrival(self, arrival: float) -> None:
+    def inject(self, on_complete: Optional[Callable[[float], None]] = None) -> None:
+        """Accept one externally-generated request at the current sim time.
+
+        Cluster dispatchers call this instead of the node's own load
+        generator; ``on_complete(completion_time)`` fires when the request
+        finishes service (never for requests still in flight at the
+        horizon, which — as in the standalone node — simply don't count).
+        """
+        self._on_arrival(self.sim.now, on_complete)
+
+    def _on_arrival(
+        self,
+        arrival: float,
+        on_complete: Optional[Callable[[float], None]] = None,
+    ) -> None:
         idx = self._dispatch_rng.randrange(self.n_cores)
         rt = self._runtimes[idx]
-        rt.queue.append(_Request(arrival))
+        self.in_flight += 1
+        rt.queue.append(_Request(arrival, on_complete))
         if rt.mode is CoreMode.ACTIVE and not rt.busy:
             self._start_service(rt)
         elif rt.mode is CoreMode.IDLE:
@@ -204,6 +212,11 @@ class ServerNode:
     def _finish_service(self, rt: _CoreRuntime, request: _Request) -> None:
         self.latency.add(self.sim.now - request.arrival)
         self.completed += 1
+        self.in_flight -= 1
+        if request.on_complete is not None:
+            # Fire while the core still reads busy, so a callback that
+            # synchronously injects back into this node queues safely.
+            request.on_complete(self.sim.now)
         rt.busy = False
         if rt.queue:
             self._start_service(rt)
@@ -280,12 +293,25 @@ class ServerNode:
             rt.core.end_snoop_service(self.sim.now)
 
     # -- run ------------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm this node's event sources on its simulator.
+
+        Standalone nodes arm the arrival stream and snoop traffic; nodes
+        embedded in a cluster (``external_arrivals=True``) arm snoops
+        only — logical arrivals reach them through :meth:`inject`.
+        """
+        if not self.external_arrivals:
+            self._schedule_arrivals()
+        self._arm_snoops()
+
     def run(self) -> RunResult:
         """Simulate the full horizon and aggregate the observables."""
-        self._schedule_arrivals()
-        self._arm_snoops()
+        self.start()
         self.sim.run(until=self.horizon)
+        return self.collect()
 
+    def collect(self) -> RunResult:
+        """Aggregate the observables after the simulator has run."""
         residency: Dict[str, float] = {}
         transitions: Dict[str, float] = {}
         energy = 0.0

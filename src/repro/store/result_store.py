@@ -41,13 +41,18 @@ DB_FILENAME = "results.sqlite"
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS results (
-    digest     TEXT PRIMARY KEY,
-    salt       TEXT NOT NULL,
-    spec       TEXT,
-    result     TEXT NOT NULL,
-    created_at REAL NOT NULL
+    digest      TEXT PRIMARY KEY,
+    salt        TEXT NOT NULL,
+    spec        TEXT,
+    result      TEXT NOT NULL,
+    created_at  REAL NOT NULL,
+    last_access REAL
 )
 """
+
+#: Fixed per-row sqlite overhead estimate used by :meth:`ResultStore.prune_lru`
+#: on top of the measured payload text (b-tree cell, rowid, column headers).
+_ROW_OVERHEAD_BYTES = 128
 
 
 def default_store_dir() -> str:
@@ -98,6 +103,13 @@ class ResultStore:
         self.path = self.root / DB_FILENAME
         with self._connect() as conn:
             conn.execute(_SCHEMA)
+            # Databases written before the LRU column existed: migrate in
+            # place (NULL last_access sorts as never-accessed).
+            columns = {
+                row[1] for row in conn.execute("PRAGMA table_info(results)")
+            }
+            if "last_access" not in columns:
+                conn.execute("ALTER TABLE results ADD COLUMN last_access REAL")
 
     # -- internals ---------------------------------------------------------
     @contextlib.contextmanager
@@ -128,6 +140,12 @@ class ResultStore:
             row = conn.execute(
                 "SELECT result FROM results WHERE digest = ?", (digest,)
             ).fetchone()
+            if row is not None:
+                # Record the hit so LRU eviction keeps hot points.
+                conn.execute(
+                    "UPDATE results SET last_access = ? WHERE digest = ?",
+                    (time.time(), digest),
+                )
         if row is None:
             return None
         try:
@@ -157,13 +175,22 @@ class ResultStore:
                     f"({','.join('?' * len(chunk))})",
                     chunk,
                 ).fetchall()
+                hits = []
                 for digest, payload in rows:
                     try:
                         out[digest_to_key[digest]] = result_from_dict(
                             json.loads(payload)
                         )
+                        hits.append(digest)
                     except (ConfigurationError, json.JSONDecodeError):
                         corrupt.append(digest)
+                if hits:
+                    # Record the hits so LRU eviction keeps hot points.
+                    now = time.time()
+                    conn.executemany(
+                        "UPDATE results SET last_access = ? WHERE digest = ?",
+                        [(now, digest) for digest in hits],
+                    )
             if corrupt:
                 conn.executemany(
                     "DELETE FROM results WHERE digest = ?",
@@ -176,16 +203,19 @@ class ResultStore:
         spec_json = None
         if spec is not None:
             spec_json = json.dumps(spec.to_dict(), separators=(",", ":"))
+        now = time.time()
         with self._connect() as conn:
             conn.execute(
                 "INSERT OR REPLACE INTO results "
-                "(digest, salt, spec, result, created_at) VALUES (?, ?, ?, ?, ?)",
+                "(digest, salt, spec, result, created_at, last_access) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
                 (
                     self._digest(key),
                     self.salt,
                     spec_json,
                     json.dumps(result_to_dict(result), separators=(",", ":")),
-                    time.time(),
+                    now,
+                    now,
                 ),
             )
 
@@ -209,6 +239,7 @@ class ResultStore:
                     spec_json,
                     json.dumps(result_to_dict(result), separators=(",", ":")),
                     now,
+                    now,
                 )
             )
         if not rows:
@@ -216,7 +247,8 @@ class ResultStore:
         with self._connect() as conn:
             conn.executemany(
                 "INSERT OR REPLACE INTO results "
-                "(digest, salt, spec, result, created_at) VALUES (?, ?, ?, ?, ?)",
+                "(digest, salt, spec, result, created_at, last_access) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
                 rows,
             )
 
@@ -263,6 +295,15 @@ class ResultStore:
                 total += candidate.stat().st_size
         return total
 
+    def db_bytes(self) -> int:
+        """Size of the main database file alone.
+
+        The ``-wal``/``-shm`` sidecars are transient runtime state that
+        sqlite recreates at will (and rewrites during VACUUM), so the LRU
+        size cap is enforced against this number, not :meth:`size_bytes`.
+        """
+        return self.path.stat().st_size if self.path.exists() else 0
+
     def prune_stale(self) -> int:
         """Drop records written under other salts; returns rows removed."""
         with self._connect() as conn:
@@ -270,6 +311,62 @@ class ResultStore:
                 "DELETE FROM results WHERE salt != ?", (self.salt,)
             ).rowcount
         return removed
+
+    def prune_lru(self, max_bytes: int) -> int:
+        """Evict least-recently-accessed records until the store fits.
+
+        Rows are dropped in ascending last-access order (records written
+        before access tracking existed fall back to their creation time,
+        so the oldest cold data goes first) and the database is VACUUMed
+        so the file actually shrinks. Each pass sizes the eviction from
+        the row payloads, then re-checks the real file size — sqlite page
+        overhead varies — and evicts again if still over, so on return
+        the main database file (:meth:`db_bytes`; the transient
+        WAL/shared-memory sidecars are excluded) fits ``max_bytes``, or
+        the store is empty. Returns the number of rows evicted.
+
+        Raises:
+            ConfigurationError: if ``max_bytes`` is negative.
+        """
+        if max_bytes < 0:
+            raise ConfigurationError(
+                f"max_bytes must be >= 0, got {max_bytes}"
+            )
+        evicted = 0
+        while self.db_bytes() > max_bytes:
+            excess = self.db_bytes() - max_bytes
+            victims = []
+            with self._connect() as conn:
+                rows = conn.execute(
+                    "SELECT digest, LENGTH(result) + LENGTH(COALESCE(spec, ''))"
+                    "  + LENGTH(digest) + LENGTH(salt) + ? "
+                    "FROM results "
+                    "ORDER BY COALESCE(last_access, created_at) ASC, "
+                    "created_at ASC",
+                    (_ROW_OVERHEAD_BYTES,),
+                ).fetchall()
+                if not rows:
+                    break  # empty store: the rest is fixed sqlite overhead
+                freed = 0
+                for digest, size in rows:
+                    if freed >= excess:
+                        break
+                    victims.append((digest,))
+                    freed += size
+                conn.executemany("DELETE FROM results WHERE digest = ?", victims)
+            evicted += len(victims)
+            # VACUUM cannot run inside a transaction; use a bare
+            # autocommit connection to return the freed pages to the OS.
+            # In WAL mode the vacuum itself writes through the -wal
+            # sidecar, so truncate it too or the on-disk footprint this
+            # loop measures would *grow* with every pass.
+            conn = sqlite3.connect(str(self.path), timeout=30.0)
+            try:
+                conn.execute("VACUUM")
+                conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            finally:
+                conn.close()
+        return evicted
 
     def clear(self) -> None:
         """Drop every record (all salts)."""

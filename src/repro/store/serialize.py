@@ -54,6 +54,10 @@ def result_to_dict(result: RunResult) -> Dict[str, object]:
         "turbo_grant_rate": result.turbo_grant_rate,
         "network_latency": result.network_latency,
         "snoops_served": result.snoops_served,
+        # Cluster runs carry per-node breakdowns; JSON round-trips the
+        # floats inside exactly (shortest-repr), preserving bit-identity.
+        "node_detail": result.node_detail,
+        "hedges_issued": result.hedges_issued,
     }
 
 
@@ -87,6 +91,8 @@ def result_from_dict(data: Dict[str, object]) -> RunResult:
             turbo_grant_rate=data["turbo_grant_rate"],
             network_latency=data["network_latency"],
             snoops_served=data.get("snoops_served", 0),
+            node_detail=data.get("node_detail"),
+            hedges_issued=data.get("hedges_issued", 0),
         )
     except (KeyError, TypeError, ValueError, struct.error, zlib.error) as exc:
         raise ConfigurationError(f"corrupt result record: {exc}") from exc

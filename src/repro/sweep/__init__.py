@@ -25,6 +25,7 @@ from repro.sweep.spec import (
     WORKLOAD_FACTORIES,
     ScenarioGrid,
     ScenarioSpec,
+    register_balancer,
     register_governor,
     register_workload,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "failure_record",
     "register_workload",
     "register_governor",
+    "register_balancer",
     "WORKLOAD_FACTORIES",
     "GOVERNOR_FACTORIES",
 ]

@@ -43,6 +43,10 @@ from dataclasses import dataclass
 from time import monotonic
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro.cluster.balancer import (
+    BALANCER_FACTORIES,
+    IMPORT_TIME_BALANCER_FACTORIES,
+)
 from repro.errors import ConfigurationError, PointTimeoutError
 from repro.server.metrics import RunResult
 from repro.sweep.spec import (
@@ -179,6 +183,23 @@ def find_unregistered(specs: Sequence[ScenarioSpec]):
     return workloads, governors
 
 
+def find_unregistered_balancers(specs: Sequence[ScenarioSpec]) -> List[str]:
+    """Balancer names worker processes would resolve wrongly.
+
+    Companion to :func:`find_unregistered` (kept separate so that
+    function's ``(workloads, governors)`` contract is unchanged). Every
+    spec is checked — ``ScenarioSpec.__post_init__`` validates the
+    balancer name in the worker regardless of node count, though
+    single-node specs canonicalise theirs to the built-in default and so
+    can never trip this.
+    """
+    return sorted(
+        name
+        for name in {s.balancer for s in specs}
+        if BALANCER_FACTORIES.get(name) is not IMPORT_TIME_BALANCER_FACTORIES.get(name)
+    )
+
+
 def _check_worker_registries(
     specs: Sequence[ScenarioSpec], start_method: Optional[str] = None
 ) -> None:
@@ -196,13 +217,16 @@ def _check_worker_registries(
     if start_method == "fork":
         return
     workloads, governors = find_unregistered(specs)
-    if not workloads and not governors:
+    balancers = find_unregistered_balancers(specs)
+    if not workloads and not governors and not balancers:
         return
     parts = []
     if workloads:
         parts.append(f"workload(s) {workloads}")
     if governors:
         parts.append(f"governor(s) {governors}")
+    if balancers:
+        parts.append(f"balancer(s) {balancers}")
     raise ConfigurationError(
         f"{' and '.join(parts)} registered or overridden only in this "
         f"process: {start_method!r} worker processes re-import "
@@ -232,6 +256,7 @@ class SerialExecutor:
         specs: Sequence[ScenarioSpec],
         on_result: Optional[Callable[[int, ScenarioSpec, RunResult], None]] = None,
         on_failure: Optional[FailureHook] = None,
+        log: Optional[LogHook] = None,
     ) -> List[Optional[Union[RunResult, PointFailure]]]:
         results: List[Optional[Union[RunResult, PointFailure]]] = [None] * len(specs)
         for i, spec in enumerate(specs):
@@ -307,6 +332,7 @@ class ProcessExecutor:
         specs: Sequence[ScenarioSpec],
         on_result: Optional[Callable[[int, ScenarioSpec, RunResult], None]] = None,
         on_failure: Optional[FailureHook] = None,
+        log: Optional[LogHook] = None,
     ) -> List[Optional[Union[RunResult, PointFailure]]]:
         if not specs:
             return []
@@ -314,12 +340,21 @@ class ProcessExecutor:
             # Pool spin-up costs more than one point; run it inline (no
             # workers, so no registry constraints). Not when a timeout is
             # set: only the pool path can enforce one.
-            return SerialExecutor(self.policy).map_specs(specs, on_result, on_failure)
+            return SerialExecutor(self.policy).map_specs(
+                specs, on_result, on_failure, log=log
+            )
         _check_worker_registries(specs)
 
         policy = self.policy
         results: List[Optional[Union[RunResult, PointFailure]]] = [None] * len(specs)
         workers = min(self.jobs, len(specs))
+        if workers < self.jobs and log is not None:
+            # More workers than points is a configuration smell, not an
+            # error: clamp and say so rather than spawning idle processes.
+            log(
+                f"sweep: clamped --jobs {self.jobs} to {workers} "
+                f"(only {len(specs)} point(s) to simulate)"
+            )
         queue = deque((i, 1) for i in range(len(specs)))  # (index, attempt)
         active: Dict[object, tuple] = {}  # future -> (index, attempt, deadline)
         first_error: List[Optional[BaseException]] = [None]
@@ -429,6 +464,14 @@ class ProcessExecutor:
                             # Still running: the worker stays occupied
                             # until the simulation finishes on its own.
                             abandoned.add(future)
+                            if log is not None:
+                                # Name the cache key so the abandoned
+                                # point is identifiable in the store.
+                                log(
+                                    "sweep: abandoned timed-out worker "
+                                    f"still running spec {specs[i].cache_key} "
+                                    f"(attempt {attempt}, budget {policy.timeout}s)"
+                                )
                         settle_failure(
                             i,
                             attempt,
@@ -624,7 +667,7 @@ class SweepRunner:
                     self.progress(settled[0], total, spec)
 
             try:
-                self.executor.map_specs(misses, on_result, on_failure)
+                self.executor.map_specs(misses, on_result, on_failure, log=self.log)
             finally:
                 store_call(flush_writes)
 

@@ -2,7 +2,8 @@
 
 A :class:`ScenarioSpec` captures *everything* that determines a run's
 outcome — workload, configuration, rate, core count, horizon, seed,
-governor, turbo override and snoop flag — so that two equal specs always
+governor, turbo override, snoop flag and the cluster dimensions (node
+count, balancer, fan-out, hedge delay) — so that two equal specs always
 denote the same result. That property backs the shared memo cache
 (:mod:`repro.sweep.runner`) and lets specs travel to worker processes as
 plain dicts.
@@ -19,9 +20,15 @@ plain dicts.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import asdict, dataclass, fields, replace
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.cluster.balancer import (
+    BALANCER_FACTORIES,
+    IMPORT_TIME_BALANCER_FACTORIES,
+    register_balancer,
+)
 from repro.errors import ConfigurationError
 from repro.governor.idle import FixedGovernor, MenuGovernor, ReplayOracleGovernor
 from repro.server.config import ServerConfiguration, named_configuration
@@ -68,6 +75,13 @@ IMPORT_TIME_GOVERNOR_FACTORIES = dict(GOVERNOR_FACTORIES)
 IMPORT_TIME_WORKLOADS = frozenset(IMPORT_TIME_WORKLOAD_FACTORIES)
 IMPORT_TIME_GOVERNORS = frozenset(IMPORT_TIME_GOVERNOR_FACTORIES)
 
+#: Workload-seed stride between cluster nodes: node ``i`` rebuilds its
+#: workload at ``factory_default_seed + i * stride`` when the factory
+#: exposes an integer ``seed`` keyword, so the per-node service-time RNG
+#: streams are independent. Node 0 always uses the factory default, which
+#: keeps one-node clusters bit-identical to standalone runs.
+WORKLOAD_NODE_SEED_STRIDE = 104_729
+
 
 def register_workload(name: str, factory: Callable[[], Workload]) -> None:
     """Register a workload factory under ``name`` for use in specs."""
@@ -99,6 +113,18 @@ class ScenarioSpec:
         turbo: ``None`` keeps the configuration's turbo setting; True/False
             overrides it.
         snoops: whether background snoop traffic is simulated.
+        nodes: cluster size; 1 simulates a single
+            :class:`~repro.server.node.ServerNode` exactly as before.
+        balancer: cluster load-balancer name (see
+            :data:`~repro.cluster.balancer.BALANCER_FACTORIES`); with
+            ``nodes=1`` the policy cannot affect results, so it is
+            validated then canonicalised to ``"random"`` (one cache key
+            per single-node point, not one per balancer name).
+        fanout: leaf sub-requests per logical request, joined at the
+            slowest leaf; must not exceed ``nodes``.
+        hedge_ms: optional hedged-request delay in milliseconds — leaves
+            still outstanding after this long are duplicated onto another
+            node and the first answer wins.
     """
 
     workload: str
@@ -110,6 +136,10 @@ class ScenarioSpec:
     governor: str = "menu"
     turbo: Optional[bool] = None
     snoops: bool = True
+    nodes: int = 1
+    balancer: str = "random"
+    fanout: int = 1
+    hedge_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.workload not in WORKLOAD_FACTORIES:
@@ -122,18 +152,48 @@ class ScenarioSpec:
                 f"unknown governor {self.governor!r}; "
                 f"choose from {sorted(GOVERNOR_FACTORIES)}"
             )
+        if self.balancer not in BALANCER_FACTORIES:
+            raise ConfigurationError(
+                f"unknown balancer {self.balancer!r}; "
+                f"choose from {sorted(BALANCER_FACTORIES)}"
+            )
         if self.qps <= 0:
             raise ConfigurationError(f"qps must be positive, got {self.qps}")
         if self.cores <= 0:
             raise ConfigurationError(f"cores must be positive, got {self.cores}")
         if self.horizon <= 0:
             raise ConfigurationError(f"horizon must be positive, got {self.horizon}")
+        if self.nodes <= 0:
+            raise ConfigurationError(f"nodes must be positive, got {self.nodes}")
+        if self.fanout <= 0:
+            raise ConfigurationError(f"fanout must be positive, got {self.fanout}")
+        if self.fanout > self.nodes:
+            raise ConfigurationError(
+                f"fanout {self.fanout} exceeds nodes {self.nodes}: leaves "
+                "go to distinct servers"
+            )
+        if self.hedge_ms is not None and self.hedge_ms <= 0:
+            raise ConfigurationError(
+                f"hedge_ms must be positive, got {self.hedge_ms}"
+            )
         # Canonicalise numeric types so 100000 and 100000.0 produce the
         # same frozen spec (and therefore the same cache key).
         object.__setattr__(self, "qps", float(self.qps))
         object.__setattr__(self, "horizon", float(self.horizon))
         object.__setattr__(self, "cores", int(self.cores))
         object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "nodes", int(self.nodes))
+        object.__setattr__(self, "fanout", int(self.fanout))
+        if self.hedge_ms is not None:
+            object.__setattr__(self, "hedge_ms", float(self.hedge_ms))
+        if self.nodes == 1:
+            # With one node every policy routes everything to node 0, so
+            # the balancer cannot affect results: canonicalise it (after
+            # validating the given name) so single-node points share one
+            # cache key instead of re-simulating per balancer name — and
+            # so a parent-only registered balancer name never travels to
+            # a spawn worker on a spec that will never use it.
+            object.__setattr__(self, "balancer", "random")
 
     # -- identity ----------------------------------------------------------
     @property
@@ -142,7 +202,18 @@ class ScenarioSpec:
         return (
             self.workload, self.config, self.qps, self.cores, self.horizon,
             self.seed, self.governor, self.turbo, self.snoops,
+            self.nodes, self.balancer, self.fanout, self.hedge_ms,
         )
+
+    @property
+    def is_cluster(self) -> bool:
+        """Whether this point needs the cluster path.
+
+        ``nodes=1, fanout=1`` without hedging runs the original
+        single-node path, byte-for-byte — the balancer name is then
+        irrelevant (every policy routes everything to node 0).
+        """
+        return self.nodes > 1 or self.fanout > 1 or self.hedge_ms is not None
 
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
@@ -172,9 +243,28 @@ class ScenarioSpec:
         return replace(self, **overrides)
 
     # -- materialisation ---------------------------------------------------
-    def build_workload(self) -> Workload:
-        """Fresh workload instance (fresh RNG streams)."""
-        return WORKLOAD_FACTORIES[self.workload]()
+    def build_workload(self, node: int = 0) -> Workload:
+        """Fresh workload instance (fresh RNG streams).
+
+        ``node`` decorrelates cluster nodes: when the registered factory
+        exposes an integer ``seed`` keyword (all built-ins do), node ``i``
+        is built at ``default_seed + i * WORKLOAD_NODE_SEED_STRIDE``, so
+        no two leaf servers draw identical service-time sequences — the
+        correlation would otherwise cancel exactly the fan-out
+        amplification a cluster exists to measure. Node 0 (and any
+        zero-argument custom factory) uses the factory default.
+        """
+        factory = WORKLOAD_FACTORIES[self.workload]
+        if node:
+            try:
+                seed_param = inspect.signature(factory).parameters.get("seed")
+            except (TypeError, ValueError):  # builtins / C callables
+                seed_param = None
+            if seed_param is not None and isinstance(seed_param.default, int):
+                return factory(
+                    seed=seed_param.default + WORKLOAD_NODE_SEED_STRIDE * node
+                )
+        return factory()
 
     def build_configuration(self) -> ServerConfiguration:
         """The named configuration, with the turbo override applied."""
@@ -188,6 +278,25 @@ class ScenarioSpec:
 
     def execute(self) -> RunResult:
         """Run this scenario to completion (uncached; see SweepRunner)."""
+        if self.is_cluster:
+            from repro.cluster import Cluster
+
+            cluster = Cluster(
+                workload_factory=self.build_workload,
+                configuration=self.build_configuration(),
+                qps=self.qps,
+                nodes=self.nodes,
+                cores=self.cores,
+                horizon=self.horizon,
+                seed=self.seed,
+                balancer=self.balancer,
+                fanout=self.fanout,
+                hedge_s=None if self.hedge_ms is None else self.hedge_ms / 1e3,
+                snoops_enabled=self.snoops,
+                governor_factory=self.governor_factory(),
+            )
+            return cluster.run()
+
         from repro.server.node import ServerNode
 
         node = ServerNode(
@@ -226,12 +335,17 @@ class ScenarioGrid:
         governors: Sequence[str] = ("menu",),
         turbo: Optional[bool] = None,
         snoops: bool = True,
+        nodes: Sequence[int] = (1,),
+        balancers: Sequence[str] = ("random",),
+        fanouts: Sequence[int] = (1,),
+        hedge_ms: Optional[float] = None,
     ) -> "ScenarioGrid":
         """Cartesian product over the given axes.
 
         Iteration order is the nesting order of the arguments (workload
-        outermost, governor innermost), matching how the paper's figures
-        sweep rate within configuration within workload.
+        outermost, fanout innermost), matching how the paper's figures
+        sweep rate within configuration within workload. Cluster axes
+        default to the single-node identity (``nodes=1, fanout=1``).
 
         Raises:
             ConfigurationError: if ``qps`` is empty.
@@ -242,6 +356,7 @@ class ScenarioGrid:
             ScenarioSpec(
                 workload=w, config=c, qps=q, cores=n, horizon=h, seed=s,
                 governor=g, turbo=turbo, snoops=snoops,
+                nodes=k, balancer=b, fanout=r, hedge_ms=hedge_ms,
             )
             for w in workloads
             for c in configs
@@ -250,6 +365,9 @@ class ScenarioGrid:
             for h in horizons
             for s in seeds
             for g in governors
+            for k in nodes
+            for b in balancers
+            for r in fanouts
         ]
         return cls(specs)
 

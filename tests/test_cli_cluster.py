@@ -1,0 +1,132 @@
+"""CLI tests for the cluster surface: run/--params, sweep axes, cache LRU."""
+
+import json
+
+from repro.cli import EXIT_ERROR, EXIT_OK, EXIT_USAGE, main
+
+
+class TestRunClusterExperiments:
+    def test_fanout_tail_quick_renders_p99_vs_fanout_table(self, capsys):
+        assert main(["run", "fanout_tail", "--quick", "--no-cache"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "fanout" in out
+        assert "menu p99" in out
+        assert "c1_only p99" in out
+
+    def test_fanout_tail_quick_jsonl_records(self, capsys):
+        assert main(
+            ["run", "fanout_tail", "--quick", "--no-cache", "--format", "jsonl"]
+        ) == EXIT_OK
+        lines = [
+            line for line in capsys.readouterr().out.splitlines() if line.strip()
+        ]
+        assert lines
+        governors = set()
+        for line in lines:
+            record = json.loads(line)
+            assert record["experiment"] == "fanout_tail"
+            assert record["p99_latency"] > 0
+            governors.add(record["governor"])
+        assert len(governors) >= 2
+
+
+class TestParamsFlag:
+    def test_params_override_applies(self, capsys):
+        assert main([
+            "run", "fanout_tail", "--quick", "--no-cache",
+            "--params", "nodes=2", "fanouts=1,2", "--format", "jsonl",
+        ]) == EXIT_OK
+        records = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines() if line.strip()
+        ]
+        assert {record["fanout"] for record in records} == {1, 2}
+        assert all(record["nodes"] == 2 for record in records)
+
+    def test_params_unknown_key_is_usage_error(self, capsys):
+        assert main(
+            ["run", "fanout_tail", "--quick", "--params", "bogus=1"]
+        ) == EXIT_USAGE
+        assert "valid keys" in capsys.readouterr().err
+
+    def test_params_needs_exactly_one_experiment(self, capsys):
+        assert main(
+            ["run", "fanout_tail", "balancer_study", "--params", "nodes=2"]
+        ) == EXIT_USAGE
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_params_bad_value_is_usage_error(self, capsys):
+        assert main(
+            ["run", "fanout_tail", "--quick", "--params", "nodes=many"]
+        ) == EXIT_USAGE
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_params_domain_invalid_value_fails_cleanly(self, capsys):
+        # Type-valid but domain-invalid: surfaces as a clean run error
+        # (exit 1, message on stderr), not a traceback.
+        assert main(
+            ["run", "fanout_tail", "--quick", "--no-cache",
+             "--params", "nodes=0"]
+        ) == EXIT_ERROR
+        assert "run failed" in capsys.readouterr().err
+
+
+class TestSweepClusterAxes:
+    def test_cluster_sweep_runs(self, capsys, tmp_path):
+        out_file = tmp_path / "points.jsonl"
+        assert main([
+            "sweep", "--kqps", "40", "--horizon", "0.02", "--no-cache",
+            "--nodes", "2", "--fanout", "2", "--balancer", "jsq",
+            "-o", str(out_file),
+        ]) == EXIT_OK
+        records = [
+            json.loads(line) for line in out_file.read_text().splitlines()
+        ]
+        assert len(records) == 1
+        assert records[0]["nodes"] == 2
+        assert records[0]["fanout"] == 2
+        assert records[0]["balancer"] == "jsq"
+
+    def test_fanout_beyond_nodes_is_usage_error(self, capsys):
+        assert main([
+            "sweep", "--kqps", "40", "--nodes", "2", "--fanout", "4",
+        ]) == EXIT_USAGE
+        assert "fanout" in capsys.readouterr().err
+
+    def test_grid_file_conflicts_with_cluster_flags(self, capsys, tmp_path):
+        grid = tmp_path / "grid.jsonl"
+        grid.write_text(json.dumps({
+            "workload": "memcached", "config": "baseline", "qps": 20_000.0,
+        }) + "\n")
+        assert main([
+            "sweep", "--grid", str(grid), "--nodes", "2",
+        ]) == EXIT_USAGE
+        assert "--nodes" in capsys.readouterr().err
+
+
+class TestCachePruneMaxBytes:
+    def test_prune_with_max_bytes_evicts(self, capsys, tmp_path):
+        cache_dir = str(tmp_path)
+        assert main([
+            "sweep", "--kqps", "20", "40", "--horizon", "0.02",
+            "--cache-dir", cache_dir,
+        ]) == EXIT_OK
+        capsys.readouterr()
+        assert main(["cache", "prune", "--max-bytes", "0",
+                     "--cache-dir", cache_dir]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "evicted 2 least-recently-used record(s)" in out
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == EXIT_OK
+        assert "current records: 0" in capsys.readouterr().out
+
+    def test_prune_negative_max_bytes_is_usage_error(self, capsys, tmp_path):
+        assert main([
+            "cache", "prune", "--max-bytes", "-1", "--cache-dir", str(tmp_path),
+        ]) == EXIT_USAGE
+
+    def test_max_bytes_rejected_on_other_cache_actions(self, capsys, tmp_path):
+        for action in ("stats", "clear"):
+            assert main([
+                "cache", action, "--max-bytes", "1", "--cache-dir", str(tmp_path),
+            ]) == EXIT_USAGE
+            assert "only applies" in capsys.readouterr().err

@@ -1,0 +1,172 @@
+"""Tests for the cluster experiment family and --params overrides."""
+
+import sys
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.api import (
+    experiment_ids,
+    get_experiment,
+    parse_param_overrides,
+)
+from repro.experiments.cluster import (
+    BalancerStudyExperiment,
+    ClusterEnergyExperiment,
+    FanoutTailExperiment,
+    FanoutTailParams,
+)
+
+
+class TestRegistration:
+    def test_cluster_family_registered(self):
+        ids = experiment_ids()
+        for experiment_id in ("fanout_tail", "balancer_study", "cluster_energy"):
+            assert experiment_id in ids
+
+
+class TestFanoutTail:
+    @pytest.fixture(scope="class")
+    def result(self):
+        experiment = FanoutTailExperiment().quick()
+        return experiment, experiment.execute()
+
+    def test_quick_covers_two_governors(self, result):
+        experiment, outcome = result
+        governors = {record["governor"] for record in outcome.records}
+        assert len(governors) >= 2
+
+    def test_records_have_p99_per_fanout(self, result):
+        experiment, outcome = result
+        fanouts = {record["fanout"] for record in outcome.records}
+        assert len(fanouts) >= 2
+        for record in outcome.records:
+            assert record["p99_latency"] > 0
+            assert record["p99_amplification"] > 0
+            assert record["nodes"] == experiment.params.nodes
+
+    def test_amplification_is_relative_to_smallest_fanout(self, result):
+        experiment, outcome = result
+        smallest = min(experiment.params.fanouts)
+        for record in outcome.records:
+            if record["fanout"] == smallest:
+                assert record["p99_amplification"] == pytest.approx(1.0)
+
+    def test_amplification_baseline_survives_unsorted_fanouts(self):
+        # `--params fanouts=4,1` lists the fan-outs largest-first; the
+        # baseline must still be the smallest fan-out, not the first.
+        quick = FanoutTailExperiment().quick()
+        experiment = FanoutTailExperiment(
+            type(quick.params)(
+                nodes=quick.params.nodes, cores=quick.params.cores,
+                horizon=quick.params.horizon,
+                per_node_kqps=quick.params.per_node_kqps,
+                fanouts=(4, 1), governors=("menu",),
+            )
+        )
+        outcome = experiment.execute()
+        by_fanout = {r["fanout"]: r for r in outcome.records}
+        assert by_fanout[1]["p99_amplification"] == pytest.approx(1.0)
+        assert by_fanout[4]["p99_amplification"] > 1.0
+
+    def test_render_text_is_a_p99_vs_fanout_table(self, result):
+        experiment, outcome = result
+        text = experiment.render_text(outcome)
+        for governor in experiment.params.governors:
+            assert f"{governor} p99" in text
+        assert "fanout" in text
+
+    def test_leaf_rate_constant_across_fanouts(self):
+        experiment = FanoutTailExperiment().quick()
+        p = experiment.params
+        for spec in experiment.grid():
+            assert spec.qps * spec.fanout / spec.nodes == pytest.approx(
+                p.per_node_kqps * 1000.0
+            )
+
+
+class TestBalancerStudy:
+    def test_quick_covers_every_balancer(self):
+        experiment = BalancerStudyExperiment().quick()
+        outcome = experiment.execute()
+        balancers = {record["balancer"] for record in outcome.records}
+        assert balancers == set(experiment.params.balancers)
+        text = experiment.render_text(outcome)
+        for balancer in experiment.params.balancers:
+            assert balancer in text
+
+
+class TestClusterEnergy:
+    def test_quick_reports_proportionality_metrics(self):
+        experiment = ClusterEnergyExperiment().quick()
+        outcome = experiment.execute()
+        configs = {record["config"] for record in outcome.records}
+        assert configs == set(experiment.params.configs)
+        assert any("dynamic range" in note for note in outcome.notes)
+        assert any("proportionality gap" in note for note in outcome.notes)
+        for record in outcome.records:
+            assert record["package_power"] > 0
+            assert 0 <= record["utilization"] <= 1
+
+
+class TestParamOverrides:
+    def test_typed_coercion(self):
+        experiment = parse_param_overrides(
+            FanoutTailExperiment(),
+            ["nodes=4", "fanouts=1,2", "per_node_kqps=12.5", "hedge_ms=0.5"],
+        )
+        p = experiment.params
+        assert p.nodes == 4
+        assert p.fanouts == (1, 2)
+        assert p.per_node_kqps == 12.5
+        assert p.hedge_ms == 0.5
+
+    def test_optional_accepts_none(self):
+        experiment = parse_param_overrides(
+            FanoutTailExperiment(FanoutTailParams(hedge_ms=0.5)),
+            ["hedge_ms=none"],
+        )
+        assert experiment.params.hedge_ms is None
+
+    def test_string_tuple(self):
+        experiment = parse_param_overrides(
+            FanoutTailExperiment(), ["governors=menu,oracle"]
+        )
+        assert experiment.params.governors == ("menu", "oracle")
+
+    def test_unknown_key_lists_valid_ones(self):
+        with pytest.raises(ConfigurationError, match="valid keys"):
+            parse_param_overrides(FanoutTailExperiment(), ["bogus=1"])
+
+    def test_malformed_assignment(self):
+        with pytest.raises(ConfigurationError, match="key=value"):
+            parse_param_overrides(FanoutTailExperiment(), ["nodes"])
+
+    def test_uncoercible_value(self):
+        with pytest.raises(ConfigurationError, match="cannot parse"):
+            parse_param_overrides(FanoutTailExperiment(), ["nodes=many"])
+
+    def test_empty_tuple_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            parse_param_overrides(FanoutTailExperiment(), ["fanouts="])
+
+    def test_overrides_work_on_any_experiment(self):
+        experiment = parse_param_overrides(
+            get_experiment("fig9"), ["rates_kqps=10,20", "horizon=0.01"]
+        )
+        assert experiment.params.rates_kqps == (10.0, 20.0)
+        assert experiment.params.horizon == 0.01
+
+    def test_no_overrides_returns_same_instance(self):
+        experiment = FanoutTailExperiment()
+        assert parse_param_overrides(experiment, []) is experiment
+
+    @pytest.mark.skipif(
+        sys.version_info < (3, 10), reason="PEP 604 unions need Python 3.10+"
+    )
+    def test_pep604_optional_annotation_coerces(self):
+        from repro.experiments.api import _coerce_value
+
+        annotation = eval("float | None")  # noqa: S307 - test-only literal
+        assert _coerce_value(annotation, "0.5", "hedge_ms") == 0.5
+        assert _coerce_value(annotation, "none", "hedge_ms") is None

@@ -423,6 +423,56 @@ class TestFailurePolicy:
         assert runner.executor.policy.retries == 3
 
 
+class TestExecutorHygiene:
+    def test_jobs_exceeding_points_is_clamped_and_logged(self):
+        messages = []
+        runner = SweepRunner(
+            executor="process", jobs=8, cache={}, log=messages.append
+        )
+        results = runner.run_many([_spec(seed=11), _spec(seed=12)])
+        assert all(r.completed > 0 for r in results)
+        assert any("clamped" in m for m in messages)
+
+    def test_exact_jobs_not_logged_as_clamped(self):
+        messages = []
+        runner = SweepRunner(
+            executor="process", jobs=2, cache={}, log=messages.append
+        )
+        runner.run_many([_spec(seed=13), _spec(seed=14)])
+        assert not any("clamped" in m for m in messages)
+
+    @fork_only
+    def test_abandoned_timeout_worker_logs_the_cache_key(self):
+        # A timed-out point's worker cannot be killed portably; the log
+        # must name the spec's cache key so the abandoned point is
+        # identifiable (e.g. against the result store) afterwards.
+        from repro.sweep.spec import WORKLOAD_FACTORIES, register_workload
+        from repro.workloads import memcached_workload
+
+        def sleepy():
+            import time
+
+            time.sleep(1.2)
+            return memcached_workload()
+
+        register_workload("sleepy_logged", sleepy)
+        messages = []
+        try:
+            runner = SweepRunner(
+                executor="process", jobs=2, cache={}, log=messages.append,
+                policy=FailurePolicy(mode="record", timeout=0.2),
+            )
+            results = runner.run_many(
+                [_spec(workload="sleepy_logged"), _spec(seed=15)]
+            )
+            assert isinstance(results[0], PointFailure)
+            assert any(
+                "abandoned" in m and "sleepy_logged" in m for m in messages
+            )
+        finally:
+            del WORKLOAD_FACTORIES["sleepy_logged"]
+
+
 class TestWorkerRegistryCheck:
     def test_dynamic_names_detected(self, failing_workload):
         from repro.sweep.runner import _check_worker_registries, find_unregistered
@@ -448,6 +498,27 @@ class TestWorkerRegistryCheck:
                 _check_worker_registries([spec], start_method="spawn")
         finally:
             del GOVERNOR_FACTORIES["temp_gov"]
+
+    def test_dynamic_balancer_detected(self):
+        from repro.cluster.balancer import (
+            BALANCER_FACTORIES,
+            RandomBalancer,
+            register_balancer,
+        )
+        from repro.sweep.runner import _check_worker_registries
+
+        register_balancer("temp_bal", RandomBalancer)
+        try:
+            spec = _spec(nodes=2, balancer="temp_bal")
+            with pytest.raises(ConfigurationError, match="temp_bal"):
+                _check_worker_registries([spec], start_method="spawn")
+            # Single-node specs canonicalise the balancer to the
+            # built-in default, so the name never reaches a worker.
+            single = _spec(balancer="temp_bal")
+            assert single.balancer == "random"
+            _check_worker_registries([single], start_method="spawn")
+        finally:
+            del BALANCER_FACTORIES["temp_bal"]
 
     def test_import_time_names_pass_everywhere(self):
         from repro.sweep.runner import _check_worker_registries
