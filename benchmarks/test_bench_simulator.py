@@ -56,6 +56,21 @@ def test_bench_streaming_arrival_heap(benchmark):
     assert peak < 1_000
 
 
+def test_bench_server_node_40_cores(benchmark):
+    """Many-core scaling: with O(1) incremental power accounting, 4x the
+    cores at 4x the rate costs ~4x the events — not the 16x of the old
+    per-event O(cores) package-power re-sum."""
+
+    def run_node():
+        return simulate(
+            memcached_workload(), named_configuration("baseline"),
+            qps=400_000, cores=40, horizon=0.02, seed=1,
+        )
+
+    result = benchmark.pedantic(run_node, rounds=2, iterations=1)
+    assert result.completed > 5_000
+
+
 def test_bench_aw_design_build(benchmark):
     from repro.core import AgileWattsDesign
 

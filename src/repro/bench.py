@@ -1,0 +1,347 @@
+"""`repro bench`: reproducible benchmark runs with a regression gate.
+
+The ``benchmarks/`` suite (pytest-benchmark) tracks the performance of the
+simulation substrate — event-engine throughput, the 100 KQPS server-node
+run, the streaming-arrival heap bound, sweep executors, cluster composition.
+This module gives those benchmarks a machine-readable trajectory:
+
+- :func:`run_suite` executes a named subset through pytest and reduces the
+  pytest-benchmark JSON to a compact ``BENCH_<suite>.json`` document;
+- :func:`compare_results` gates the current numbers against a committed
+  baseline (``benchmarks/BENCH_baseline.json``) with a relative tolerance,
+  so speedups — this PR's 3x server-node win, PR 1's heap bound — become
+  enforced floors instead of release-note trivia.
+
+Comparisons use each benchmark's *minimum* observed time: the minimum is
+the least noise-sensitive location statistic for a benchmark (noise is
+strictly additive), which matters when the gate runs on shared CI
+hardware.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Schema marker for BENCH_*.json documents.
+BENCH_SCHEMA = 1
+
+#: Named benchmark suites (files relative to the repository root).
+#: ``--quick`` maps to ``simulator`` — the substrate microbenchmarks that
+#: finish in seconds and cover the hot path this gate protects.
+SUITES: Dict[str, List[str]] = {
+    "simulator": ["benchmarks/test_bench_simulator.py"],
+    "sweep": ["benchmarks/test_bench_sweep.py"],
+    "cluster": ["benchmarks/test_bench_cluster.py"],
+    "all": ["benchmarks"],
+}
+
+#: Default relative regression tolerance (fraction of the baseline time).
+DEFAULT_TOLERANCE = 0.25
+
+#: Benchmarks whose baseline minimum is below this many seconds are too
+#: noise-dominated to gate on relative tolerance (a 50 us microbench can
+#: jitter 2x from scheduler noise alone); they are compared but reported
+#: as informational, never as failures.
+GATE_FLOOR_SECONDS = 1e-3
+
+#: Default committed baseline location, relative to the repository root.
+BASELINE_RELPATH = os.path.join("benchmarks", "BENCH_baseline.json")
+
+
+def find_repo_root() -> str:
+    """The directory holding ``benchmarks/``: cwd, or the source checkout.
+
+    Raises:
+        ConfigurationError: if no benchmarks directory can be located.
+    """
+    candidates = [
+        os.getcwd(),
+        # src/repro/bench.py -> src/repro -> src -> repo root
+        os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    ]
+    for root in candidates:
+        if os.path.isdir(os.path.join(root, "benchmarks")):
+            return root
+    raise ConfigurationError(
+        "cannot locate the benchmarks/ directory; run from the repository "
+        "root or a source checkout"
+    )
+
+
+def _reduce_benchmark_json(data: Dict[str, object], suite: str) -> Dict[str, object]:
+    """Compact a pytest-benchmark JSON document to the BENCH schema."""
+    results: Dict[str, Dict[str, object]] = {}
+    for bench in data.get("benchmarks", []):
+        stats = bench["stats"]
+        results[bench["name"]] = {
+            "min_s": stats["min"],
+            "mean_s": stats["mean"],
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+        }
+    return {
+        "schema": BENCH_SCHEMA,
+        "suite": suite,
+        "machine": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+        },
+        "results": results,
+    }
+
+
+def run_suite(suite: str, root: Optional[str] = None) -> Dict[str, object]:
+    """Run one named suite under pytest-benchmark; return the BENCH doc.
+
+    Raises:
+        ConfigurationError: on an unknown suite name, a failing benchmark
+            run, or a benchmark run that produced no results.
+    """
+    import pytest
+
+    if suite not in SUITES:
+        raise ConfigurationError(
+            f"unknown bench suite {suite!r}; choose from {sorted(SUITES)}"
+        )
+    root = root or find_repo_root()
+    paths = [os.path.join(root, p) for p in SUITES[suite]]
+    for path in paths:
+        if not os.path.exists(path):
+            raise ConfigurationError(f"benchmark path {path} does not exist")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        json_path = os.path.join(tmp, "bench.json")
+        code = pytest.main(
+            ["-q", "--benchmark-only", f"--benchmark-json={json_path}", *paths]
+        )
+        if code != 0:
+            raise ConfigurationError(f"benchmark run failed (pytest exit {code})")
+        try:
+            with open(json_path) as handle:
+                raw = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"benchmark run produced no readable JSON: {exc}"
+            ) from exc
+    doc = _reduce_benchmark_json(raw, suite)
+    if not doc["results"]:
+        raise ConfigurationError(f"suite {suite!r} produced no benchmark results")
+    return doc
+
+
+def load_bench(path: str) -> Dict[str, object]:
+    """Read a BENCH_*.json document.
+
+    Raises:
+        ConfigurationError: on unreadable files or foreign schemas.
+    """
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read bench file {path}: {exc}") from exc
+    schema = data.get("schema") if isinstance(data, dict) else None
+    if schema != BENCH_SCHEMA:
+        raise ConfigurationError(
+            f"{path} is not a BENCH document (schema {schema!r}, "
+            f"expected {BENCH_SCHEMA})"
+        )
+    return data
+
+
+def write_bench(doc: Dict[str, object], path: str) -> None:
+    """Write a BENCH document (stable key order, trailing newline)."""
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def compare_results(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Dict[str, List[Dict[str, object]]]:
+    """Gate ``current`` against ``baseline``.
+
+    Returns a report dict with three lists:
+
+    - ``regressions``: benchmarks whose min time exceeds baseline by more
+      than ``tolerance`` (fractional);
+    - ``improvements``: benchmarks at least ``tolerance`` faster (candidates
+      for a baseline refresh, so the better number becomes the new floor);
+    - ``ungated``: benchmarks whose baseline minimum sits below
+      :data:`GATE_FLOOR_SECONDS` — too noise-dominated for a relative
+      gate, reported for trajectory only;
+    - ``missing``: baseline benchmarks the current run did not execute
+      (compared suites only partially overlap — e.g. ``--quick`` vs a
+      full-suite baseline — so missing entries are informational);
+    - ``unbaselined``: benchmarks the current run executed that the
+      baseline has no entry for — newly added benchmarks are ungated
+      until ``--update-baseline`` records a floor for them, and this
+      list makes that state visible instead of silent.
+
+    Raises:
+        ConfigurationError: on a negative tolerance.
+    """
+    if tolerance < 0:
+        raise ConfigurationError(f"tolerance must be >= 0, got {tolerance}")
+    report: Dict[str, List[Dict[str, object]]] = {
+        "regressions": [],
+        "improvements": [],
+        "ungated": [],
+        "missing": [],
+        "unbaselined": [],
+    }
+    current_results = current.get("results", {})
+    baseline_results = baseline.get("results", {})
+    for name in sorted(set(current_results) - set(baseline_results)):
+        report["unbaselined"].append({"name": name})
+    for name, base in sorted(baseline_results.items()):
+        cur = current_results.get(name)
+        if cur is None:
+            report["missing"].append({"name": name})
+            continue
+        base_min = float(base["min_s"])
+        cur_min = float(cur["min_s"])
+        if base_min <= 0:
+            continue  # degenerate baseline entry; nothing to gate against
+        ratio = cur_min / base_min
+        entry = {
+            "name": name,
+            "baseline_min_s": base_min,
+            "current_min_s": cur_min,
+            "ratio": ratio,
+        }
+        if base_min < GATE_FLOOR_SECONDS:
+            report["ungated"].append(entry)
+        elif ratio > 1.0 + tolerance:
+            report["regressions"].append(entry)
+        elif ratio < 1.0 - tolerance:
+            report["improvements"].append(entry)
+    return report
+
+
+def render_report(
+    report: Dict[str, List[Dict[str, object]]], tolerance: float
+) -> str:
+    """Human-readable comparison summary."""
+    lines: List[str] = []
+    for entry in report["regressions"]:
+        lines.append(
+            f"REGRESSION {entry['name']}: {entry['current_min_s'] * 1e3:.2f} ms "
+            f"vs baseline {entry['baseline_min_s'] * 1e3:.2f} ms "
+            f"({entry['ratio']:.2f}x, tolerance {1.0 + tolerance:.2f}x)"
+        )
+    for entry in report["improvements"]:
+        lines.append(
+            f"improvement {entry['name']}: {entry['current_min_s'] * 1e3:.2f} ms "
+            f"vs baseline {entry['baseline_min_s'] * 1e3:.2f} ms "
+            f"({entry['ratio']:.2f}x)"
+        )
+    for entry in report["ungated"]:
+        lines.append(
+            f"ungated {entry['name']}: {entry['current_min_s'] * 1e6:.0f} us "
+            f"vs baseline {entry['baseline_min_s'] * 1e6:.0f} us "
+            f"(sub-{GATE_FLOOR_SECONDS * 1e3:.0f}ms microbench, trajectory only)"
+        )
+    for entry in report["missing"]:
+        lines.append(f"not run: {entry['name']} (in baseline, absent here)")
+    for entry in report["unbaselined"]:
+        lines.append(
+            f"no baseline for {entry['name']}: this benchmark is ungated — "
+            "record a floor with `repro bench --update-baseline`"
+        )
+    if not lines:
+        lines.append(f"all benchmarks within {tolerance * 100:.0f}% of baseline")
+    return "\n".join(lines)
+
+
+def update_baseline(
+    doc: Dict[str, object], baseline_path: str
+) -> Dict[str, object]:
+    """Merge ``doc``'s results into the baseline file (created if absent).
+
+    Per-benchmark entries are replaced wholesale; benchmarks only present
+    in the old baseline are kept, so refreshing from a ``--quick`` run
+    does not drop the full-suite entries.
+    """
+    if os.path.exists(baseline_path):
+        merged = load_bench(baseline_path)
+    else:
+        merged = {
+            "schema": BENCH_SCHEMA,
+            "suite": "baseline",
+            "machine": doc["machine"],
+            "results": {},
+        }
+    merged["machine"] = doc["machine"]
+    merged["results"].update(doc["results"])
+    write_bench(merged, baseline_path)
+    return merged
+
+
+def main(
+    suite: Optional[str],
+    quick: bool = False,
+    out: Optional[str] = None,
+    baseline: Optional[str] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    do_update_baseline: bool = False,
+    no_compare: bool = False,
+    stderr=None,
+) -> int:
+    """CLI entry point for ``repro bench``. Returns an exit code."""
+    stderr = stderr if stderr is not None else sys.stderr
+    if suite is None:
+        suite = "simulator" if quick else "all"
+    try:
+        root = find_repo_root()
+        doc = run_suite(suite, root=root)
+    except ConfigurationError as exc:
+        print(f"bench failed: {exc}", file=stderr)
+        return 1
+
+    out_path = out or f"BENCH_{suite}.json"
+    write_bench(doc, out_path)
+    print(f"wrote {len(doc['results'])} benchmark result(s) to {out_path}")
+
+    baseline_path = baseline or os.path.join(root, BASELINE_RELPATH)
+    if do_update_baseline:
+        update_baseline(doc, baseline_path)
+        print(f"updated baseline {baseline_path}")
+        return 0
+    if no_compare:
+        return 0
+    if not os.path.exists(baseline_path):
+        print(
+            f"no baseline at {baseline_path}; run `repro bench "
+            "--update-baseline` to create one",
+            file=stderr,
+        )
+        return 1
+    try:
+        base_doc = load_bench(baseline_path)
+        report = compare_results(doc, base_doc, tolerance)
+    except ConfigurationError as exc:
+        print(f"bench comparison failed: {exc}", file=stderr)
+        return 1
+    if base_doc.get("machine") != doc.get("machine"):
+        # Absolute wall-clock comparisons only mean something on matched
+        # hardware/interpreter; flag the mismatch rather than silently
+        # gating against a different machine's floor.
+        print(
+            f"warning: baseline machine {base_doc.get('machine')} differs "
+            f"from this machine {doc.get('machine')}; timings are not "
+            "directly comparable — consider `repro bench --update-baseline` "
+            "on this machine",
+            file=stderr,
+        )
+    print(render_report(report, tolerance))
+    return 1 if report["regressions"] else 0

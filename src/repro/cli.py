@@ -16,6 +16,9 @@ Usage::
     python -m repro sweep --grid grid.jsonl --on-error skip -o out.jsonl
     python -m repro cache stats          # result-store hygiene
     python -m repro cache prune --max-bytes 100000000   # LRU size cap
+    python -m repro bench --quick        # substrate benchmarks + gate
+    python -m repro bench cluster --tolerance 0.5       # one named suite
+    python -m repro bench --quick --update-baseline     # refresh floor
 
 Experiments come from the declarative registry
 (:mod:`repro.experiments.api`): ``run`` collects the union of every
@@ -566,8 +569,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--emit", choices=list(EMIT_LEVELS), default="headline",
-        help="per-point record detail: headline metrics only (default), or "
-             "residency (adds C-state residency and transition-rate dicts)",
+        help="per-point record detail: headline metrics only (default), "
+             "residency (adds C-state residency and transition-rate "
+             "dicts), or perf (adds engine counters — events processed, "
+             "heap high-water mark, events per request — for normalising "
+             "wall time per unit of simulation work)",
     )
     sweep.add_argument(
         "--on-error", choices=["raise", "skip", "record"], default="raise",
@@ -612,7 +618,77 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", metavar="DIR",
         help="result store location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
     )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the pytest-benchmark suites, write BENCH_*.json, and "
+             "gate against the committed baseline",
+    )
+    bench.add_argument(
+        "suite", nargs="?", default=None,
+        help="suite name (simulator, sweep, cluster, all); default: all, "
+             "or simulator with --quick",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="run the fast substrate suite only (alias for `bench simulator`)",
+    )
+    bench.add_argument(
+        "-o", "--out", metavar="FILE",
+        help="machine-readable results file (default: BENCH_<suite>.json)",
+    )
+    bench.add_argument(
+        "--baseline", metavar="FILE",
+        help="baseline to gate against (default: benchmarks/BENCH_baseline.json)",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=None, metavar="FRAC",
+        help="fractional slowdown allowed before failing (default: 0.25)",
+    )
+    bench.add_argument(
+        "--update-baseline", action="store_true",
+        help="merge this run's results into the baseline instead of gating",
+    )
+    bench.add_argument(
+        "--no-compare", action="store_true",
+        help="write results only; skip the baseline gate",
+    )
     return parser
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run benchmark suites and gate against the committed baseline."""
+    from repro import bench
+    from repro.errors import ConfigurationError
+
+    if args.tolerance is not None and args.tolerance < 0:
+        print(f"--tolerance must be >= 0, got {args.tolerance}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.suite is not None and args.quick:
+        print("pass either a suite name or --quick, not both", file=sys.stderr)
+        return EXIT_USAGE
+    if args.suite is not None and args.suite not in bench.SUITES:
+        print(
+            f"unknown bench suite {args.suite!r}; "
+            f"choose from {sorted(bench.SUITES)}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    try:
+        return bench.main(
+            suite=args.suite,
+            quick=args.quick,
+            out=args.out,
+            baseline=args.baseline,
+            tolerance=(
+                bench.DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+            ),
+            do_update_baseline=args.update_baseline,
+            no_compare=args.no_compare,
+        )
+    except ConfigurationError as exc:
+        print(f"bench failed: {exc}", file=sys.stderr)
+        return EXIT_ERROR
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -623,6 +699,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_sweep(args)
     if args.command == "cache":
         return cmd_cache(args)
+    if args.command == "bench":
+        return cmd_bench(args)
     return cmd_run(
         args.ids, args.all, args.output_dir, args.jobs,
         no_cache=args.no_cache, cache_dir=args.cache_dir,

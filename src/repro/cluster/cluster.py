@@ -203,4 +203,8 @@ class Cluster:
             snoops_served=sum(r.snoops_served for r in per_node),
             node_detail=node_detail,
             hedges_issued=self.dispatcher.hedges_issued,
+            # All K nodes advance one shared simulator, so these are the
+            # fleet-wide engine counters, not a per-node average.
+            events_processed=self.sim.events_processed,
+            peak_pending_events=self.sim.peak_pending_events,
         )

@@ -36,14 +36,22 @@ class _Logical:
 
 
 class _Leaf:
-    """One leaf sub-request (possibly duplicated by a hedge)."""
+    """One leaf sub-request (possibly duplicated by a hedge).
 
-    __slots__ = ("logical", "home", "done")
+    The leaf *is* its own completion callback (``inject(leaf)``), so
+    dispatching a request allocates no per-leaf closure.
+    """
 
-    def __init__(self, logical: _Logical, home: int):
+    __slots__ = ("dispatcher", "logical", "home", "done")
+
+    def __init__(self, dispatcher: "FanoutDispatcher", logical: _Logical, home: int):
+        self.dispatcher = dispatcher
         self.logical = logical
         self.home = home
         self.done = False
+
+    def __call__(self, now: float) -> None:
+        self.dispatcher._leaf_done(self, now)
 
 
 class FanoutDispatcher:
@@ -96,7 +104,7 @@ class FanoutDispatcher:
         arrival = self.sim.now
         targets = self.balancer.pick(self.fanout, self._loads())
         logical = _Logical(arrival, len(targets))
-        leaves = [_Leaf(logical, idx) for idx in targets]
+        leaves = [_Leaf(self, logical, idx) for idx in targets]
         for leaf in leaves:
             self._send(leaf, leaf.home)
         if self.hedge_s is not None:
@@ -105,9 +113,8 @@ class FanoutDispatcher:
             )
 
     def _send(self, leaf: _Leaf, node_index: int) -> None:
-        self.nodes[node_index].inject(
-            lambda now, leaf=leaf: self._leaf_done(leaf, now)
-        )
+        # The leaf is callable: it is its own completion callback.
+        self.nodes[node_index].inject(leaf)
 
     def _leaf_done(self, leaf: _Leaf, now: float) -> None:
         if leaf.done:

@@ -48,6 +48,14 @@ class FrequencyPoint(Enum):
         return _FREQUENCY_HZ[self]
 
 
+# Enum's default __hash__ is a Python-level function (it hashes the member
+# name), which makes every enum-keyed dict lookup on the simulation hot
+# path pay a Python frame. Members are singletons compared by identity, so
+# the C-level id hash is equivalent for every dict use — and dict ordering
+# is insertion-based, so nothing observable changes. Applied *before* any
+# enum-keyed dict is built, so every table uses the identity hash.
+FrequencyPoint.__hash__ = object.__hash__
+
 _FREQUENCY_HZ = {
     FrequencyPoint.P1: 2.2 * GHZ,
     FrequencyPoint.PN: 0.8 * GHZ,
@@ -122,6 +130,9 @@ class CState:
             raise CStateError(f"{self.name}: target residency must be >= 0")
         if self.snoop_wake_overhead < 0:
             raise CStateError(f"{self.name}: snoop overhead must be >= 0")
+        # is_active is read on every power recomputation in the simulation
+        # hot path; precompute it once instead of string-matching per call.
+        object.__setattr__(self, "_active", self.name.startswith("C0"))
 
     @property
     def transition_time(self) -> float:
@@ -130,7 +141,7 @@ class CState:
 
     @property
     def is_active(self) -> bool:
-        return self.name.startswith("C0")
+        return self._active
 
     @property
     def components(self) -> ComponentStates:
@@ -272,6 +283,9 @@ class CStateCatalog:
         self.active = active
         self._idle = sorted(idle_states, key=lambda s: s.depth)
         self._disabled: set = set()
+        # Governor queries read the enabled list on every idle entry (the
+        # simulation hot path); rebuild it only when the switches flip.
+        self._enabled_cache: Optional[List[CState]] = None
 
     # -- lookups ----------------------------------------------------------
     @property
@@ -281,7 +295,12 @@ class CStateCatalog:
 
     @property
     def enabled_idle_states(self) -> List[CState]:
-        return [s for s in self._idle if s.name not in self._disabled]
+        """Enabled states shallow-to-deep (cached; treat as read-only)."""
+        cache = self._enabled_cache
+        if cache is None:
+            cache = [s for s in self._idle if s.name not in self._disabled]
+            self._enabled_cache = cache
+        return cache
 
     @property
     def all_states(self) -> List[CState]:
@@ -308,6 +327,7 @@ class CStateCatalog:
         for name in names:
             self.get(name)  # validate
             self._disabled.add(name)
+        self._enabled_cache = None
         if not self.enabled_idle_states:
             raise CStateError("cannot disable every idle state")
         return self
@@ -315,6 +335,7 @@ class CStateCatalog:
     def enable(self, *names: str) -> "CStateCatalog":
         for name in names:
             self._disabled.discard(name)
+        self._enabled_cache = None
         return self
 
     def is_enabled(self, name: str) -> bool:
@@ -342,8 +363,9 @@ class CStateCatalog:
         """
         if predicted_idle < 0:
             raise CStateError(f"predicted idle must be >= 0, got {predicted_idle}")
-        chosen = self.shallowest()
-        for state in self.enabled_idle_states:
+        states = self.enabled_idle_states
+        chosen = states[0]
+        for state in states:
             if state.target_residency > predicted_idle:
                 continue
             if latency_limit is not None and state.exit_latency > latency_limit:
@@ -403,11 +425,22 @@ def agilewatts_catalog(
     )
 
 
+#: C0 per-core power by frequency point, built once: :func:`active_power`
+#: sits on the per-transition hot path of the server simulation.
+_ACTIVE_POWERS = {
+    FrequencyPoint.P1: C0_P1_POWER,
+    FrequencyPoint.PN: C0_PN_POWER,
+    FrequencyPoint.TURBO: C0_TURBO_POWER,
+}
+
+# The active power is also pinned onto each member as a plain attribute:
+# ``frequency.active_power_watts`` is a single C-level attribute load,
+# which the per-transition power recomputation in repro.uarch.core uses
+# instead of a dict lookup.
+for _frequency_point, _watts in _ACTIVE_POWERS.items():
+    _frequency_point.active_power_watts = _watts
+
+
 def active_power(frequency: FrequencyPoint) -> float:
     """C0 per-core power at a frequency point (Table 1 + turbo calibration)."""
-    powers = {
-        FrequencyPoint.P1: C0_P1_POWER,
-        FrequencyPoint.PN: C0_PN_POWER,
-        FrequencyPoint.TURBO: C0_TURBO_POWER,
-    }
-    return powers[frequency]
+    return _ACTIVE_POWERS[frequency]

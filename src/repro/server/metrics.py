@@ -39,6 +39,11 @@ class RunResult:
             for single-node runs, so their records are unchanged.
         hedges_issued: cluster runs only — duplicate leaves issued by the
             hedged-request timer.
+        events_processed: perf counter — simulation events executed by
+            the engine during the run (cluster runs share one simulator,
+            so the cluster result carries the fleet-wide count).
+        peak_pending_events: perf counter — high-water mark of the event
+            heap; the memory bound streaming event sources maintain.
     """
 
     config_name: str
@@ -57,6 +62,8 @@ class RunResult:
     snoops_served: int = 0
     node_detail: Optional[List[Dict[str, object]]] = None
     hedges_issued: int = 0
+    events_processed: int = 0
+    peak_pending_events: int = 0
 
     # -- latency views ------------------------------------------------------
     @property
@@ -94,6 +101,15 @@ class RunResult:
         return self.residency.get(name, 0.0)
 
     # -- structured output --------------------------------------------------
+    # -- perf counters ------------------------------------------------------
+    @property
+    def events_per_request(self) -> float:
+        """Simulation events per completed request — the work-per-outcome
+        ratio ``sweep --emit perf`` consumers normalise wall time by."""
+        if self.completed <= 0:
+            return 0.0
+        return self.events_processed / self.completed
+
     def to_record(self, detail: bool = True) -> Dict[str, object]:
         """Flat JSON-safe record of this run's observables.
 

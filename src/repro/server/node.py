@@ -17,14 +17,23 @@ exit latency — the worst case the paper's Fig 8c "worst case" curve
 charges on every query. Request latency is measured server-side
 (completion - arrival) with the constant network component added for
 end-to-end views.
+
+Hot-path discipline: the per-event code allocates nothing beyond the
+engine's heap entry — callbacks are prebound per core at construction,
+requests are recycled through a free list, and scheduling goes through
+:meth:`~repro.simkit.engine.Simulator.schedule_fast` (service
+completions, C-state entries and wakes are never cancelled). The
+``fast_path=False`` reference mode routes the same call sites through the
+original Event-allocating scheduler so the golden bit-identity tests can
+replay both and compare.
 """
 
 from __future__ import annotations
 
 import random
 from collections import deque
-from dataclasses import dataclass
 from enum import Enum
+from functools import partial
 from typing import Callable, Deque, Dict, List, Optional
 
 from repro.core.cstates import CState, FrequencyPoint
@@ -50,12 +59,28 @@ class CoreMode(Enum):
     WAKING = "waking"
 
 
-@dataclass
+# Module-level aliases: the mode tests in the arrival/wake handlers are
+# identity comparisons, and a global load is cheaper than an Enum class
+# attribute lookup at millions of events.
+_ACTIVE = CoreMode.ACTIVE
+_ENTERING = CoreMode.ENTERING
+_IDLE = CoreMode.IDLE
+_WAKING = CoreMode.WAKING
+
+
 class _Request:
-    arrival: float
-    #: Cluster hook: called with the completion time when the request
-    #: finishes service (see :meth:`ServerNode.inject`).
-    on_complete: Optional[Callable[[float], None]] = None
+    """One in-flight request. Instances are recycled via the node's free
+    list, so a steady-state run allocates O(max in-flight) of them total
+    rather than one per arrival."""
+
+    __slots__ = ("arrival", "on_complete")
+
+    def __init__(self, arrival: float = 0.0,
+                 on_complete: Optional[Callable[[float], None]] = None):
+        self.arrival = arrival
+        #: Cluster hook: called with the completion time when the request
+        #: finishes service (see :meth:`ServerNode.inject`).
+        self.on_complete = on_complete
 
 
 class _CoreRuntime:
@@ -63,23 +88,41 @@ class _CoreRuntime:
 
     __slots__ = (
         "core", "queue", "governor", "mode", "busy", "idle_since",
-        "wake_pending", "snoop_token", "entry_event",
+        "wake_pending", "snoop_token", "in_service", "entering_state",
+        "finish_cb", "entry_cb", "wake_cb", "snoop_cb",
     )
 
     def __init__(self, core: Core, governor: IdleGovernor):
         self.core = core
         self.queue: Deque[_Request] = deque()
         self.governor = governor
-        self.mode = CoreMode.ACTIVE
+        self.mode = _ACTIVE
         self.busy = False
         self.idle_since = 0.0
         self.wake_pending = False
         self.snoop_token = 0
-        self.entry_event = None
+        #: Request currently in service (cores serve one at a time), read
+        #: back by the prebound finish callback.
+        self.in_service: Optional[_Request] = None
+        #: C-state chosen by the governor for the in-flight entry, read
+        #: back by the prebound entry-complete callback.
+        self.entering_state: Optional[CState] = None
+        # Prebound per-core event callbacks (set by the node) — scheduling
+        # a service completion, C-state entry or wake allocates no closure.
+        self.finish_cb: Callable[[], None] = None
+        self.entry_cb: Callable[[], None] = None
+        self.wake_cb: Callable[[], None] = None
+        self.snoop_cb: Callable[[], None] = None
 
 
 class ServerNode:
-    """Event-driven model of one latency-critical server."""
+    """Event-driven model of one latency-critical server.
+
+    ``fast_path`` selects the allocation-free scheduling path (the
+    default). ``False`` replays the identical event sequence through the
+    cancellable :class:`~repro.simkit.engine.Event` path — slower, used
+    by the bit-identity tests as the reference.
+    """
 
     def __init__(
         self,
@@ -96,6 +139,7 @@ class ServerNode:
         trace: Optional[TraceRecorder] = None,
         sim: Optional[Simulator] = None,
         external_arrivals: bool = False,
+        fast_path: bool = True,
     ):
         if cores <= 0:
             raise ConfigurationError("need at least one core")
@@ -113,18 +157,45 @@ class ServerNode:
         #: When True the node never arms its own load generator: requests
         #: arrive solely through :meth:`inject` (cluster dispatch).
         self.external_arrivals = external_arrivals
+        self.fast_path = fast_path
+        # One call-site indirection selects the scheduling path: both
+        # consume (delay/time, callback) in the same order, so sequence
+        # numbers — and therefore event order — are identical.
+        if fast_path:
+            self._sched = self.sim.schedule_fast
+            self._sched_at = self.sim.schedule_at_fast
+        else:
+            self._sched = self.sim.schedule
+            self._sched_at = self.sim.schedule_at
         self._dispatch_rng = random.Random(seed)
+        # Core dispatch replicates Random._randbelow_with_getrandbits
+        # inline (draw cores.bit_length() bits, reject >= cores): the
+        # identical bit stream randrange(cores) consumes, without the two
+        # Python frames per arrival. Guarded by the golden digest tests.
+        self._getrandbits = self._dispatch_rng.getrandbits
+        self._core_bits = cores.bit_length()
         self._loadgen: LoadGenerator = OpenLoopPoisson(qps, seed=seed + 1)
+        self._sample_service = workload.service.sample
+        self._frequency_derate = configuration.frequency_derate
 
         catalog = configuration.catalog
+        self._catalog = catalog
         make_governor = governor_factory or (lambda: MenuGovernor())
         self._runtimes: List[_CoreRuntime] = [
             _CoreRuntime(Core(i, catalog), make_governor()) for i in range(cores)
         ]
+        for index, runtime in enumerate(self._runtimes):
+            # functools.partial dispatches at C level: firing one of these
+            # costs a single Python frame (the handler itself).
+            runtime.finish_cb = partial(self._finish_service, runtime)
+            runtime.entry_cb = partial(self._entry_complete, runtime)
+            runtime.wake_cb = partial(self._wake_complete, runtime)
+            runtime.snoop_cb = partial(self._on_snoop, index)
         self.package = Package(
             [rt.core for rt in self._runtimes],
             PackageConfig(cores=cores, uncore_watts=uncore_watts),
             turbo=TurboBudget(turbo_config or TurboConfig(), enabled=configuration.turbo_enabled),
+            incremental=fast_path,
         )
         self.snoop_model = SnoopModel()
         self._snoops_enabled = snoops_enabled and workload.snoop_rate_hz > 0
@@ -133,12 +204,17 @@ class ServerNode:
             for i in range(cores)
         ]
         self.latency = PercentileTracker()
+        self._latency_add = self.latency.add
         self.completed = 0
         self.snoops_served = 0
         #: Requests accepted but not yet finished (queued + in service);
         #: the load signal cluster balancers read.
         self.in_flight = 0
         self.trace = trace if trace is not None else NULL_TRACE
+        #: Recycled :class:`_Request` instances.
+        self._request_pool: List[_Request] = []
+        self._pool_append = self._request_pool.append
+        self._turbo = self.package.turbo
 
     # -- wiring ------------------------------------------------------------
     def _schedule_arrivals(self) -> None:
@@ -150,7 +226,8 @@ class ServerNode:
         misbehaving generators do this) takes effect.
         """
         ArrivalStream(
-            self.sim, self._loadgen, self.horizon, self._on_arrival
+            self.sim, self._loadgen, self.horizon, self._on_arrival,
+            fast_path=self.fast_path,
         ).start()
 
     def _arm_snoops(self) -> None:
@@ -166,7 +243,7 @@ class ServerNode:
         when = self.sim.now + delay
         if when >= self.horizon:
             return
-        self.sim.schedule_at(when, lambda: self._on_snoop(idx), label=f"snoop{idx}")
+        self._sched_at(when, self._runtimes[idx].snoop_cb)
 
     # -- request path ------------------------------------------------------------
     def inject(self, on_complete: Optional[Callable[[float], None]] = None) -> None:
@@ -184,15 +261,27 @@ class ServerNode:
         arrival: float,
         on_complete: Optional[Callable[[float], None]] = None,
     ) -> None:
-        idx = self._dispatch_rng.randrange(self.n_cores)
-        rt = self._runtimes[idx]
+        n_cores = self.n_cores
+        index = self._getrandbits(self._core_bits)
+        while index >= n_cores:
+            index = self._getrandbits(self._core_bits)
+        rt = self._runtimes[index]
         self.in_flight += 1
-        rt.queue.append(_Request(arrival, on_complete))
-        if rt.mode is CoreMode.ACTIVE and not rt.busy:
-            self._start_service(rt)
-        elif rt.mode is CoreMode.IDLE:
+        pool = self._request_pool
+        if pool:
+            request = pool.pop()
+            request.arrival = arrival
+            request.on_complete = on_complete
+        else:
+            request = _Request(arrival, on_complete)
+        rt.queue.append(request)
+        mode = rt.mode
+        if mode is _ACTIVE:
+            if not rt.busy:
+                self._start_service(rt)
+        elif mode is _IDLE:
             self._begin_wake(rt)
-        elif rt.mode is CoreMode.ENTERING:
+        elif mode is _ENTERING:
             rt.wake_pending = True
         # WAKING: the pending wake will drain the queue.
 
@@ -200,23 +289,27 @@ class ServerNode:
         if rt.busy or not rt.queue:
             raise SimulationError("invalid service start")
         rt.busy = True
-        request = rt.queue.popleft()
-        service_time = self.workload.service.sample(
-            frequency=rt.core.frequency,
-            frequency_derate=self.configuration.frequency_derate,
+        rt.in_service = rt.queue.popleft()
+        service_time = self._sample_service(
+            rt.core.frequency, self._frequency_derate
         )
-        self.sim.schedule(
-            service_time, lambda: self._finish_service(rt, request), label="finish"
-        )
+        self._sched(service_time, rt.finish_cb)
 
-    def _finish_service(self, rt: _CoreRuntime, request: _Request) -> None:
-        self.latency.add(self.sim.now - request.arrival)
+    def _finish_service(self, rt: _CoreRuntime) -> None:
+        request = rt.in_service
+        rt.in_service = None
+        arrival = request.arrival
+        on_complete = request.on_complete
+        request.on_complete = None
+        self._pool_append(request)
+        now = self.sim.now
+        self._latency_add(now - arrival)
         self.completed += 1
         self.in_flight -= 1
-        if request.on_complete is not None:
+        if on_complete is not None:
             # Fire while the core still reads busy, so a callback that
             # synchronously injects back into this node queues safely.
-            request.on_complete(self.sim.now)
+            on_complete(now)
         rt.busy = False
         if rt.queue:
             self._start_service(rt)
@@ -225,44 +318,45 @@ class ServerNode:
 
     # -- idle path -----------------------------------------------------------------
     def _go_idle(self, rt: _CoreRuntime) -> None:
-        state = rt.governor.choose(self.configuration.catalog)
-        rt.mode = CoreMode.ENTERING
+        state = rt.governor.choose(self._catalog)
+        rt.mode = _ENTERING
         rt.idle_since = self.sim.now
         rt.wake_pending = False
-        rt.entry_event = self.sim.schedule(
-            state.entry_latency,
-            lambda: self._entry_complete(rt, state),
-            label="entry",
-        )
+        rt.entering_state = state
+        self._sched(state.entry_latency, rt.entry_cb)
 
-    def _entry_complete(self, rt: _CoreRuntime, state: CState) -> None:
-        rt.core.enter_idle(self.sim.now, state)
-        self.package.turbo.update(self.sim.now, self.package.package_power)
-        rt.mode = CoreMode.IDLE
-        self.trace.record(
-            self.sim.now, f"core{rt.core.core_id}", "enter_idle", state.name
-        )
+    def _entry_complete(self, rt: _CoreRuntime) -> None:
+        state = rt.entering_state
+        now = self.sim.now
+        rt.core.enter_idle(now, state)
+        self._turbo.update(now, self.package.package_power)
+        rt.mode = _IDLE
+        trace = self.trace
+        if trace.enabled:
+            trace.record(now, f"core{rt.core.core_id}", "enter_idle", state.name)
         if rt.wake_pending or rt.queue:
             self._begin_wake(rt)
 
     def _begin_wake(self, rt: _CoreRuntime) -> None:
-        if rt.mode is not CoreMode.IDLE:
+        if rt.mode is not _IDLE:
             raise SimulationError(f"cannot wake core in mode {rt.mode}")
-        rt.governor.observe_idle(self.sim.now - rt.idle_since)
+        now = self.sim.now
+        rt.governor.observe_idle(now - rt.idle_since)
         rt.snoop_token += 1  # invalidate in-flight snoop service
-        self.trace.record(
-            self.sim.now, f"core{rt.core.core_id}", "wake", rt.core.state.name
-        )
-        exit_latency = rt.core.wake(self.sim.now)
-        frequency = self.package.turbo.frequency_for_burst(
-            self.sim.now, self.package.package_power
-        )
-        rt.core.set_frequency(self.sim.now, frequency)
-        rt.mode = CoreMode.WAKING
-        self.sim.schedule(exit_latency, lambda: self._wake_complete(rt), label="wake")
+        trace = self.trace
+        if trace.enabled:
+            trace.record(now, f"core{rt.core.core_id}", "wake", rt.core.state.name)
+        exit_latency = rt.core.wake(now)
+        frequency = self._turbo.frequency_for_burst(now, self.package.package_power)
+        if frequency is not rt.core.frequency:
+            # Same-frequency DVFS is an exact no-op (zero-span accrual on
+            # an existing key, unchanged power): skip the call entirely.
+            rt.core.set_frequency(now, frequency)
+        rt.mode = _WAKING
+        self._sched(exit_latency, rt.wake_cb)
 
     def _wake_complete(self, rt: _CoreRuntime) -> None:
-        rt.mode = CoreMode.ACTIVE
+        rt.mode = _ACTIVE
         if rt.queue and not rt.busy:
             self._start_service(rt)
         elif not rt.queue:
@@ -273,23 +367,23 @@ class ServerNode:
     def _on_snoop(self, idx: int) -> None:
         rt = self._runtimes[idx]
         state = rt.core.state
-        if rt.mode is CoreMode.IDLE and self.snoop_model.sees_snoops(state.name):
+        if rt.mode is _IDLE and self.snoop_model.sees_snoops(state.name):
             delta = self.snoop_model.power_delta_for(state.name)
             rt.core.begin_snoop_service(self.sim.now, delta)
             token = rt.snoop_token
             duration = self.snoop_model.service_time + state.snoop_wake_overhead
-            self.sim.schedule(
-                duration, lambda: self._end_snoop(rt, token), label="snoop_end"
-            )
+            self._sched(duration, lambda: self._end_snoop(rt, token))
             self.snoops_served += 1
-            self.trace.record(
-                self.sim.now, f"core{rt.core.core_id}", "snoop", state.name
-            )
+            trace = self.trace
+            if trace.enabled:
+                trace.record(
+                    self.sim.now, f"core{rt.core.core_id}", "snoop", state.name
+                )
         self._schedule_next_snoop(idx)
 
     def _end_snoop(self, rt: _CoreRuntime, token: int) -> None:
         # A wake may have raced us; only restore idle power if still idle.
-        if rt.mode is CoreMode.IDLE and rt.snoop_token == token:
+        if rt.mode is _IDLE and rt.snoop_token == token:
             rt.core.end_snoop_service(self.sim.now)
 
     # -- run ------------------------------------------------------------------------
@@ -347,6 +441,8 @@ class ServerNode:
             turbo_grant_rate=self.package.turbo.grant_rate,
             network_latency=self.workload.network_latency,
             snoops_served=self.snoops_served,
+            events_processed=self.sim.events_processed,
+            peak_pending_events=self.sim.peak_pending_events,
         )
 
 

@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Sequence, Tuple
+from functools import partial
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -25,6 +26,19 @@ class Distribution:
 
     def sample(self) -> float:
         raise NotImplementedError
+
+    def sampler(self) -> Callable[[], float]:
+        """A zero-argument callable drawing from the same stream as
+        :meth:`sample`.
+
+        The default is the bound :meth:`sample` itself. Subclasses whose
+        sample is a single :mod:`random` call override this with a
+        C-dispatching :func:`~functools.partial`, which skips one Python
+        frame per draw — service-time sampling runs once per simulated
+        request, so the frame is measurable at scale. Both entry points
+        consume the identical random stream.
+        """
+        return self.sample
 
     @property
     def mean(self) -> float:
@@ -63,10 +77,14 @@ class Exponential(Distribution):
         if mean <= 0:
             raise ConfigurationError(f"exponential mean must be > 0, got {mean}")
         self._mean = float(mean)
+        self._lambd = 1.0 / self._mean
         self._rng = random.Random(seed)
 
     def sample(self) -> float:
-        return self._rng.expovariate(1.0 / self._mean)
+        return self._rng.expovariate(self._lambd)
+
+    def sampler(self) -> Callable[[], float]:
+        return partial(self._rng.expovariate, self._lambd)
 
     @property
     def mean(self) -> float:
@@ -88,6 +106,9 @@ class Uniform(Distribution):
 
     def sample(self) -> float:
         return self._rng.uniform(self._low, self._high)
+
+    def sampler(self) -> Callable[[], float]:
+        return partial(self._rng.uniform, self._low, self._high)
 
     @property
     def mean(self) -> float:
@@ -119,6 +140,11 @@ class LogNormal(Distribution):
         if self._sigma == 0:
             return self._mean
         return self._rng.lognormvariate(self._mu, self._sigma)
+
+    def sampler(self) -> Callable[[], float]:
+        if self._sigma == 0:
+            return self.sample
+        return partial(self._rng.lognormvariate, self._mu, self._sigma)
 
     @property
     def mean(self) -> float:

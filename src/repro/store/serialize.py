@@ -21,7 +21,8 @@ from repro.server.metrics import RunResult
 from repro.simkit.stats import PercentileTracker
 
 #: Bump when the record layout changes; readers treat other values as a miss.
-FORMAT_VERSION = 1
+#: v2: added the events_processed / peak_pending_events perf counters.
+FORMAT_VERSION = 2
 
 
 def encode_samples(samples: Sequence[float]) -> str:
@@ -58,6 +59,8 @@ def result_to_dict(result: RunResult) -> Dict[str, object]:
         # floats inside exactly (shortest-repr), preserving bit-identity.
         "node_detail": result.node_detail,
         "hedges_issued": result.hedges_issued,
+        "events_processed": result.events_processed,
+        "peak_pending_events": result.peak_pending_events,
     }
 
 
@@ -93,6 +96,8 @@ def result_from_dict(data: Dict[str, object]) -> RunResult:
             snoops_served=data.get("snoops_served", 0),
             node_detail=data.get("node_detail"),
             hedges_issued=data.get("hedges_issued", 0),
+            events_processed=data.get("events_processed", 0),
+            peak_pending_events=data.get("peak_pending_events", 0),
         )
     except (KeyError, TypeError, ValueError, struct.error, zlib.error) as exc:
         raise ConfigurationError(f"corrupt result record: {exc}") from exc

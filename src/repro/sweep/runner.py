@@ -735,8 +735,10 @@ def configure_default_runner(
 
 #: Emission levels for :func:`result_record`: ``headline`` keeps the
 #: scalar metrics only; ``residency`` adds the per-C-state residency and
-#: transition-rate dicts.
-EMIT_LEVELS = ("headline", "residency")
+#: transition-rate dicts; ``perf`` adds the engine perf counters
+#: (events processed, heap high-water mark, events per request) so sweep
+#: consumers can normalise wall time per unit of simulation work.
+EMIT_LEVELS = ("headline", "residency", "perf")
 
 
 def result_record(
@@ -757,6 +759,10 @@ def result_record(
     record = spec.to_dict()
     for key, value in result.to_record(detail=(emit == "residency")).items():
         record.setdefault(key, value)
+    if emit == "perf":
+        record["events_processed"] = result.events_processed
+        record["peak_pending_events"] = result.peak_pending_events
+        record["events_per_request"] = result.events_per_request
     return record
 
 

@@ -5,15 +5,25 @@ the shared turbo budget. The modelled part approximates one socket of the
 paper's Xeon Silver 4114 testbed: 10 physical cores plus an uncore (mesh,
 LLC, memory controllers, IO) whose power is load-insensitive to first
 order at these utilisations.
+
+Accounting is incremental: each :class:`~repro.uarch.core.Core` pushes a
+fixed-point delta when (and only when) its own state or frequency changes,
+so reading :attr:`Package.core_power` — which the turbo budget does on
+every C-state transition — is O(1) regardless of core count, instead of
+re-summing all cores per event. The fixed-point total (units of
+``2**-80`` W) is exact, so it never drifts from the true sum no matter how
+many transitions accumulate or in which order cores fire. The package also
+integrates core energy piecewise between transitions, giving an O(1) live
+socket-energy reading.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence
 
 from repro.errors import ConfigurationError
-from repro.uarch.core import Core
+from repro.uarch.core import INV_POWER_SCALE, Core
 from repro.uarch.turbo import TurboBudget, TurboConfig
 
 
@@ -43,13 +53,25 @@ class PackageConfig:
 
 
 class Package:
-    """A socket: cores + uncore + turbo budget."""
+    """A socket: cores + uncore + turbo budget.
+
+    Args:
+        cores: the core models aggregated by this socket.
+        config: package parameters.
+        turbo: shared turbo budget (a default one is built if omitted).
+        incremental: keep the running core-power total updated by core
+            deltas (O(1) reads; the default). ``False`` re-sums every core
+            per read — the pre-optimisation reference used by the golden
+            bit-identity tests; the delta bookkeeping still runs so modes
+            can be compared on live objects.
+    """
 
     def __init__(
         self,
         cores: Sequence[Core],
         config: PackageConfig = PackageConfig(),
         turbo: TurboBudget = None,
+        incremental: bool = True,
     ):
         if not cores:
             raise ConfigurationError("package needs at least one core")
@@ -60,16 +82,59 @@ class Package:
         self.cores: List[Core] = list(cores)
         self.config = config
         self.turbo = turbo if turbo is not None else TurboBudget(TurboConfig())
+        self._incremental = incremental
+        self._core_power_int = 0
+        # package_power runs per C-state transition; pin the config scalars.
+        self._uncore = config.uncore_watts
+        self._sockets = config.sockets
+        for core in self.cores:
+            # The core pushes fixed-point deltas straight into
+            # _core_power_int (a bare attribute add — the whole per-event
+            # cost of package accounting).
+            core.attach_to_package(self)
+            self._core_power_int += core.power_fixed_point
+
+    # -- incremental accounting --------------------------------------------
+    def energy_joules(self, time: float) -> float:
+        """Core energy integrated up to ``time`` (piecewise-constant).
+
+        Reads the cores' running energy accumulators without mutating
+        them, so it can be called mid-run; the cores themselves integrate
+        in O(1) per transition, making this an O(cores) *reporting* call
+        with zero per-event cost. Covers the cores only (multiply the
+        span by ``config.uncore_watts * config.sockets`` for the full
+        socket).
+
+        Raises:
+            ConfigurationError: if ``time`` precedes a core's last
+                accounting point.
+        """
+        total = 0.0
+        for core in self.cores:
+            span = time - core._energy_time
+            if span < 0:
+                raise ConfigurationError(
+                    f"package energy query at t={time} precedes core "
+                    f"{core.core_id}'s accounting point t={core._energy_time}"
+                )
+            total += core._energy_acc + core.current_power * span
+        return total
 
     @property
     def core_power(self) -> float:
-        """Instantaneous sum of core powers."""
-        return sum(core.current_power for core in self.cores)
+        """Instantaneous sum of core powers (O(1) when incremental)."""
+        if not self._incremental:
+            return sum(core.current_power for core in self.cores)
+        return self._core_power_int * INV_POWER_SCALE
 
     @property
     def package_power(self) -> float:
         """Instantaneous socket power: cores + uncore."""
-        return (self.core_power + self.config.uncore_watts) * self.config.sockets
+        if not self._incremental:
+            return (self.core_power + self._uncore) * self._sockets
+        return (
+            self._core_power_int * INV_POWER_SCALE + self._uncore
+        ) * self._sockets
 
     def average_package_power(self, time: float) -> float:
         """Average package power over each core's observed span.

@@ -67,6 +67,11 @@ class TurboBudget:
         self._package_power = 0.0
         self._grants = 0
         self._denials = 0
+        # update()/frequency_for_burst() run on every C-state transition;
+        # pin the (frozen) config scalars as plain attributes.
+        self._sustained = config.sustained_watts
+        self._tank = config.tank_joules
+        self._threshold = config.grant_threshold
 
     # -- accounting ----------------------------------------------------------
     def update(self, time: float, package_power: float) -> None:
@@ -76,13 +81,18 @@ class TurboBudget:
         Raises:
             SimulationError: if time runs backwards.
         """
-        if time < self._time:
-            raise SimulationError(f"turbo budget time ran backwards ({time} < {self._time})")
+        previous = self._time
+        if time < previous:
+            raise SimulationError(f"turbo budget time ran backwards ({time} < {previous})")
         if package_power < 0:
             raise SimulationError("package power must be >= 0")
-        span = time - self._time
-        delta = (self.config.sustained_watts - self._package_power) * span
-        self._level = min(self.config.tank_joules, max(0.0, self._level + delta))
+        delta = (self._sustained - self._package_power) * (time - previous)
+        level = self._level + delta
+        if level < 0.0:
+            level = 0.0
+        elif level > self._tank:
+            level = self._tank
+        self._level = level
         self._time = time
         self._package_power = package_power
 
@@ -101,7 +111,7 @@ class TurboBudget:
         self.update(time, package_power)
         if not self.enabled:
             return FrequencyPoint.P1
-        if self.level_fraction >= self.config.grant_threshold:
+        if self._level / self._tank >= self._threshold:
             self._grants += 1
             return FrequencyPoint.TURBO
         self._denials += 1

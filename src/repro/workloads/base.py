@@ -37,6 +37,31 @@ class ServiceTimeModel:
     fixed: Distribution
     base_frequency: FrequencyPoint = FrequencyPoint.P1
 
+    def __post_init__(self) -> None:
+        # sample() runs once per simulated request; memoise the frequency
+        # ratio per (frequency, derate) operating point — there are only a
+        # handful — so the hot path is two RNG draws and an FMA. The
+        # component samplers dispatch at C level (Distribution.sampler).
+        self._ratio_cache: dict = {}
+        self._sample_scalable = self.scalable.sampler()
+        self._sample_fixed = self.fixed.sampler()
+
+    def _frequency_ratio(
+        self, frequency: FrequencyPoint, frequency_derate: float
+    ) -> float:
+        key = (frequency, frequency_derate)
+        ratio = self._ratio_cache.get(key)
+        if ratio is None:
+            if not 0.0 <= frequency_derate < 1.0:
+                raise WorkloadError(
+                    f"derate must be in [0, 1), got {frequency_derate}"
+                )
+            frequency = frequency or self.base_frequency
+            effective_hz = frequency.frequency_hz * (1.0 - frequency_derate)
+            ratio = self.base_frequency.frequency_hz / effective_hz
+            self._ratio_cache[key] = ratio
+        return ratio
+
     def sample(
         self,
         frequency: FrequencyPoint = None,
@@ -49,12 +74,10 @@ class ServiceTimeModel:
             frequency_derate: fractional fmax loss (AW's ~1% power-gate
                 penalty); slows the scalable component only.
         """
-        if not 0.0 <= frequency_derate < 1.0:
-            raise WorkloadError(f"derate must be in [0, 1), got {frequency_derate}")
-        frequency = frequency or self.base_frequency
-        effective_hz = frequency.frequency_hz * (1.0 - frequency_derate)
-        ratio = self.base_frequency.frequency_hz / effective_hz
-        return self.scalable.sample() * ratio + self.fixed.sample()
+        ratio = self._ratio_cache.get((frequency, frequency_derate))
+        if ratio is None:
+            ratio = self._frequency_ratio(frequency, frequency_derate)
+        return self._sample_scalable() * ratio + self._sample_fixed()
 
     def mean_at(
         self,

@@ -50,6 +50,13 @@ class ArrivalStream:
     class — the one-node-cluster bit-identity guarantee depends on both
     replaying the exact same event sequence, so the chaining logic must
     not be duplicated.
+
+    The stream holds one in-flight arrival, so it schedules through one
+    prebound callback and remembers the pending arrival time on itself —
+    no per-arrival closure. ``fast_path=False`` routes scheduling through
+    the cancellable Event path instead (the bit-identity reference mode);
+    either way the scheduling order, and therefore the event sequence, is
+    identical.
     """
 
     def __init__(
@@ -58,12 +65,19 @@ class ArrivalStream:
         loadgen: LoadGenerator,
         horizon: float,
         on_arrival: Callable[[float], None],
+        fast_path: bool = True,
     ):
         self._sim = sim
         self._loadgen = loadgen
         self._horizon = horizon
         self._on_arrival = on_arrival
         self._iter: Iterator[float] = iter(())
+        self._next_arrival = 0.0
+        self._fired_cb = self._fired
+        if fast_path:
+            self._schedule_at = sim.schedule_at_fast
+        else:
+            self._schedule_at = lambda t, cb: sim.schedule_at(t, cb, label="arrival")
 
     def start(self) -> None:
         """Arm the stream: schedule the first in-window arrival."""
@@ -78,15 +92,18 @@ class ArrivalStream:
                 # accounting window; keep consuming in case later yields
                 # are in-window.
                 continue
-            self._sim.schedule_at(t, lambda t=t: self._fired(t), label="arrival")
+            self._next_arrival = t
+            self._schedule_at(t, self._fired_cb)
             return
 
-    def _fired(self, arrival: float) -> None:
-        # Chain the successor before dispatching so, on an exact time tie
-        # with the events this dispatch spawns, the next arrival still
+    def _fired(self) -> None:
+        # Read the pending arrival *before* chaining (chaining overwrites
+        # it). Chain the successor before dispatching so, on an exact time
+        # tie with the events this dispatch spawns, the next arrival still
         # fires first. (Ties against events scheduled by *earlier*
         # dispatches are resolved by scheduling order, as with any event
         # source; the stochastic float-time workloads here never tie.)
+        arrival = self._next_arrival
         self._schedule_next()
         self._on_arrival(arrival)
 
@@ -112,10 +129,11 @@ class OpenLoopPoisson(LoadGenerator):
     def arrivals(self, horizon: float) -> Iterator[float]:
         if horizon <= 0:
             raise WorkloadError(f"horizon must be positive, got {horizon}")
-        t = self._interarrival.sample()
+        sample = self._interarrival.sampler()
+        t = sample()
         while t < horizon:
             yield t
-            t += self._interarrival.sample()
+            t += sample()
 
     def expected_count(self, horizon: float) -> float:
         return self._qps * horizon

@@ -1,0 +1,183 @@
+"""Unit tests for the `repro bench` harness (no benchmark runs here)."""
+
+import json
+import os
+
+import pytest
+
+from repro import bench
+from repro.errors import ConfigurationError
+
+
+def _doc(results, suite="simulator"):
+    return {
+        "schema": bench.BENCH_SCHEMA,
+        "suite": suite,
+        "machine": {"python": "3.x", "implementation": "CPython",
+                    "platform": "test"},
+        "results": results,
+    }
+
+
+def _entry(min_s, mean_s=None):
+    return {
+        "min_s": min_s,
+        "mean_s": mean_s if mean_s is not None else min_s * 1.1,
+        "stddev_s": 0.001,
+        "rounds": 3,
+    }
+
+
+class TestCompareResults:
+    def test_within_tolerance_passes(self):
+        base = _doc({"a": _entry(0.100)})
+        cur = _doc({"a": _entry(0.110)})
+        report = bench.compare_results(cur, base, tolerance=0.25)
+        assert report["regressions"] == []
+        assert report["improvements"] == []
+        assert report["missing"] == []
+
+    def test_regression_detected(self):
+        base = _doc({"a": _entry(0.100)})
+        cur = _doc({"a": _entry(0.140)})
+        report = bench.compare_results(cur, base, tolerance=0.25)
+        assert len(report["regressions"]) == 1
+        entry = report["regressions"][0]
+        assert entry["name"] == "a"
+        assert entry["ratio"] == pytest.approx(1.4)
+
+    def test_improvement_detected(self):
+        base = _doc({"a": _entry(0.100)})
+        cur = _doc({"a": _entry(0.050)})
+        report = bench.compare_results(cur, base, tolerance=0.25)
+        assert len(report["improvements"]) == 1
+        assert report["regressions"] == []
+
+    def test_missing_benchmark_reported_not_failed(self):
+        base = _doc({"a": _entry(0.1), "b": _entry(0.2)})
+        cur = _doc({"a": _entry(0.1)})
+        report = bench.compare_results(cur, base, tolerance=0.25)
+        assert report["missing"] == [{"name": "b"}]
+        assert report["regressions"] == []
+
+    def test_new_benchmark_surfaced_as_unbaselined(self):
+        base = _doc({"a": _entry(0.1)})
+        cur = _doc({"a": _entry(0.1), "new": _entry(9.9)})
+        report = bench.compare_results(cur, base, tolerance=0.25)
+        assert report["regressions"] == []
+        assert report["unbaselined"] == [{"name": "new"}]
+        assert "no baseline for new" in bench.render_report(report, 0.25)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bench.compare_results(_doc({}), _doc({}), tolerance=-0.1)
+
+    def test_degenerate_zero_baseline_skipped(self):
+        base = _doc({"a": _entry(0.0)})
+        cur = _doc({"a": _entry(1.0)})
+        report = bench.compare_results(cur, base, tolerance=0.25)
+        assert report["regressions"] == []
+
+    def test_sub_millisecond_benchmarks_not_gated(self):
+        """Noise-dominated microbenches report trajectory, never fail."""
+        base = _doc({"micro": _entry(50e-6)})
+        cur = _doc({"micro": _entry(500e-6)})  # 10x slower
+        report = bench.compare_results(cur, base, tolerance=0.25)
+        assert report["regressions"] == []
+        assert len(report["ungated"]) == 1
+        assert report["ungated"][0]["name"] == "micro"
+
+    def test_gate_floor_boundary(self):
+        base = _doc({"a": _entry(bench.GATE_FLOOR_SECONDS)})
+        cur = _doc({"a": _entry(bench.GATE_FLOOR_SECONDS * 2)})
+        report = bench.compare_results(cur, base, tolerance=0.25)
+        assert len(report["regressions"]) == 1
+
+
+class TestBenchFiles:
+    def test_write_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        doc = _doc({"a": _entry(0.123)})
+        bench.write_bench(doc, path)
+        assert bench.load_bench(path) == doc
+
+    def test_load_rejects_foreign_schema(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as handle:
+            json.dump({"schema": 999}, handle)
+        with pytest.raises(ConfigurationError):
+            bench.load_bench(path)
+
+    def test_load_rejects_unreadable(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            bench.load_bench(str(tmp_path / "absent.json"))
+
+    def test_update_baseline_merges(self, tmp_path):
+        path = str(tmp_path / "BENCH_baseline.json")
+        bench.write_bench(_doc({"old": _entry(0.5), "both": _entry(0.9)}), path)
+        merged = bench.update_baseline(
+            _doc({"both": _entry(0.4), "new": _entry(0.2)}), path
+        )
+        assert set(merged["results"]) == {"old", "both", "new"}
+        assert merged["results"]["both"]["min_s"] == 0.4
+        on_disk = bench.load_bench(path)
+        assert on_disk["results"] == merged["results"]
+
+    def test_update_baseline_creates_file(self, tmp_path):
+        path = str(tmp_path / "fresh.json")
+        bench.update_baseline(_doc({"a": _entry(0.1)}), path)
+        assert bench.load_bench(path)["results"]["a"]["min_s"] == 0.1
+
+
+class TestSuitesAndRoot:
+    def test_known_suites(self):
+        assert {"simulator", "sweep", "cluster", "all"} <= set(bench.SUITES)
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bench.run_suite("nonexistent")
+
+    def test_find_repo_root_locates_benchmarks(self):
+        root = bench.find_repo_root()
+        assert os.path.isdir(os.path.join(root, "benchmarks"))
+
+    def test_committed_baseline_is_loadable(self):
+        """The gate CI depends on is committed and well-formed."""
+        root = bench.find_repo_root()
+        doc = bench.load_bench(os.path.join(root, bench.BASELINE_RELPATH))
+        assert "test_bench_server_node_100k_qps" in doc["results"]
+        assert "test_bench_streaming_arrival_heap" in doc["results"]
+
+
+class TestBenchCli:
+    def test_unknown_suite_usage_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "nope", "--no-compare"]) == 2
+        assert "unknown bench suite" in capsys.readouterr().err
+
+    def test_suite_and_quick_conflict(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "cluster", "--quick"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_negative_tolerance_usage_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "--quick", "--tolerance", "-1"]) == 2
+
+    def test_render_report_clean(self):
+        report = {
+            "regressions": [], "improvements": [], "ungated": [],
+            "missing": [], "unbaselined": [],
+        }
+        text = bench.render_report(report, 0.25)
+        assert "within 25%" in text
+
+    def test_load_rejects_non_dict_document(self, tmp_path):
+        path = str(tmp_path / "list.json")
+        with open(path, "w") as handle:
+            json.dump([1, 2, 3], handle)
+        with pytest.raises(ConfigurationError):
+            bench.load_bench(path)

@@ -1,0 +1,108 @@
+"""Bit-identity golden tests for the perf-optimised hot path.
+
+Two layers of protection:
+
+1. **Pinned digests** — every spec in ``tests/golden_specs.py`` must
+   reproduce the exact ``RunResult`` captured *before* the fast path and
+   incremental power accounting landed (``tests/golden_digests.json``,
+   generated from the pre-optimisation tree). Any change to a single bit
+   of any observable — latency percentiles incl. p99.9, powers,
+   residencies, transition rates, node_detail — fails here.
+
+2. **Fast/reference equivalence** — ``ServerNode(fast_path=False)``
+   replays the identical scheduling sequence through the cancellable
+   ``Event`` path with the O(cores) package-power re-sum; its results
+   (and engine counters) must match the allocation-free fast path
+   bit-for-bit on live objects, so the equivalence is enforced for any
+   config, not just the pinned grid.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from golden_specs import GOLDEN_SPECS, digest_result, spec_label  # noqa: E402
+
+from repro.server import ServerNode, named_configuration
+from repro.workloads import memcached_workload, mysql_workload
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_digests.json")
+
+
+def _load_golden():
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("spec", GOLDEN_SPECS, ids=spec_label)
+def test_pinned_digest(spec):
+    golden = _load_golden()
+    label = spec_label(spec)
+    assert label in golden, f"no pinned digest for {label}; regenerate golden_digests.json"
+    assert digest_result(spec.execute()) == golden[label], (
+        f"RunResult for {label} is no longer bit-identical to the "
+        "pre-optimisation baseline"
+    )
+
+
+def test_golden_file_covers_grid():
+    """Every pinned digest corresponds to a live spec (no stale entries)."""
+    golden = _load_golden()
+    labels = {spec_label(spec) for spec in GOLDEN_SPECS}
+    assert set(golden) == labels
+
+
+class TestFastReferenceEquivalence:
+    """fast_path=True and fast_path=False must be indistinguishable."""
+
+    def _run(self, fast_path, workload_factory=memcached_workload, **kwargs):
+        node = ServerNode(
+            workload_factory(),
+            named_configuration(kwargs.pop("config", "baseline")),
+            qps=kwargs.pop("qps", 120_000),
+            horizon=kwargs.pop("horizon", 0.03),
+            seed=kwargs.pop("seed", 42),
+            fast_path=fast_path,
+            **kwargs,
+        )
+        result = node.run()
+        return node, result
+
+    @pytest.mark.parametrize("config", ["baseline", "AW", "T_No_C6"])
+    def test_bit_identical_results(self, config):
+        _, fast = self._run(True, config=config)
+        _, reference = self._run(False, config=config)
+        assert digest_result(fast) == digest_result(reference)
+
+    def test_mysql_heavy_tail(self):
+        _, fast = self._run(True, workload_factory=mysql_workload, qps=40_000)
+        _, reference = self._run(
+            False, workload_factory=mysql_workload, qps=40_000
+        )
+        assert digest_result(fast) == digest_result(reference)
+
+    def test_engine_counters_match(self):
+        """Both paths execute the same event sequence, so the perf
+        counters — not just the physics — must agree exactly."""
+        node_fast, fast = self._run(True)
+        node_ref, reference = self._run(False)
+        assert fast.events_processed == reference.events_processed
+        assert fast.events_processed == node_fast.sim.events_processed
+        assert node_fast.sim.events_processed == node_ref.sim.events_processed
+        # The fast path pushes bare callbacks while the reference wraps
+        # each in an Event object; heap occupancy is entry-for-entry
+        # identical either way.
+        assert fast.peak_pending_events == reference.peak_pending_events
+
+    def test_incremental_power_total_matches_resum(self):
+        """The fixed-point running total equals the exact sum of core
+        powers at end of run (no drift after ~10^4 transitions)."""
+        node, _ = self._run(True)
+        import math
+
+        exact = math.fsum(core.current_power for core in node.package.cores)
+        assert node.package.core_power == pytest.approx(exact, abs=1e-12)

@@ -1,0 +1,100 @@
+"""O(1) power accounting: per-event cost must not grow with core count.
+
+Before this optimisation, every C-state transition re-summed
+``Core.current_power`` across **all** cores (``Package.core_power``), so
+per-event cost was O(cores) and a 4x core count made each event ~4x more
+expensive. With incremental accounting the package total is updated by
+one delta per transition, so events-normalised cost is flat in core
+count. The tests check both the structural property (no per-core work on
+reads) and the wall-clock consequence (with a generous margin — the old
+behaviour fails it by ~2x even on noisy hardware).
+"""
+
+import time
+
+import pytest
+
+from repro.server import ServerNode, named_configuration
+from repro.uarch.core import INV_POWER_SCALE
+from repro.workloads import memcached_workload
+
+
+def _events_normalised_cost(cores: int, qps: float, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        node = ServerNode(
+            memcached_workload(), named_configuration("baseline"),
+            qps=qps, cores=cores, horizon=0.02, seed=7,
+        )
+        start = time.perf_counter()
+        node.run()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed / node.sim.events_processed)
+    return best
+
+
+def test_per_event_cost_flat_in_core_count():
+    """10 vs 40 cores at matched per-core load: events-normalised wall
+    time may not double (the old O(cores) re-sum made it ~4x)."""
+    cost_10 = _events_normalised_cost(cores=10, qps=100_000)
+    cost_40 = _events_normalised_cost(cores=40, qps=400_000)
+    assert cost_40 < 2.0 * cost_10, (
+        f"per-event cost grew with core count: {cost_10 * 1e9:.0f} ns/event "
+        f"at 10 cores vs {cost_40 * 1e9:.0f} ns/event at 40 cores"
+    )
+
+
+def test_package_power_reads_do_no_per_core_work():
+    """Reading package_power must not touch the cores at all."""
+    node = ServerNode(
+        memcached_workload(), named_configuration("baseline"),
+        qps=50_000, cores=10, horizon=0.01, seed=3,
+    )
+    node.run()
+    package = node.package
+    reads = [0]
+    original = type(package.cores[0]).current_power
+
+    class Probe:
+        def __get__(self, obj, objtype=None):
+            reads[0] += 1
+            return original.__get__(obj, objtype)
+
+    core_cls = type(package.cores[0])
+    try:
+        core_cls.current_power = Probe()
+        for _ in range(100):
+            _ = package.package_power
+            _ = package.core_power
+    finally:
+        core_cls.current_power = original
+    assert reads[0] == 0
+
+
+def test_incremental_total_is_exact_fixed_point():
+    """The running total is an exact integer sum of per-core fixed-point
+    powers — permutation- and history-independent."""
+    node = ServerNode(
+        memcached_workload(), named_configuration("AW"),
+        qps=80_000, cores=10, horizon=0.02, seed=11,
+    )
+    node.run()
+    package = node.package
+    expected_int = sum(core.power_fixed_point for core in package.cores)
+    assert package._core_power_int == expected_int
+    assert package.core_power == expected_int * INV_POWER_SCALE
+
+
+def test_package_energy_integral_matches_core_counters():
+    """The O(1) piecewise package energy equals the per-core counters."""
+    node = ServerNode(
+        memcached_workload(), named_configuration("baseline"),
+        qps=60_000, cores=4, horizon=0.02, seed=5,
+    )
+    node.run()
+    horizon = node.horizon
+    live = node.package.energy_joules(horizon)
+    per_core = sum(
+        core.snapshot(horizon).energy_joules for core in node.package.cores
+    )
+    assert live == pytest.approx(per_core, rel=1e-9)

@@ -1,0 +1,126 @@
+"""Perf counters on RunResult and the ``sweep --emit perf`` level."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.server import named_configuration, simulate
+from repro.store.serialize import result_from_dict, result_to_dict
+from repro.sweep import result_record
+from repro.sweep.runner import EMIT_LEVELS
+from repro.sweep.spec import ScenarioSpec
+from repro.workloads import memcached_workload
+
+
+@pytest.fixture(scope="module")
+def single_node_result():
+    return simulate(
+        memcached_workload(), named_configuration("baseline"),
+        qps=40_000, horizon=0.02, seed=9,
+    )
+
+
+@pytest.fixture(scope="module")
+def cluster_spec_result():
+    spec = ScenarioSpec(
+        "memcached", "baseline", qps=30_000, horizon=0.02, seed=9,
+        nodes=2, balancer="round_robin",
+    )
+    return spec, spec.execute()
+
+
+class TestRunResultCounters:
+    def test_counters_populated(self, single_node_result):
+        assert single_node_result.events_processed > 0
+        assert single_node_result.peak_pending_events > 0
+        # Streaming arrivals bound the heap far below total events.
+        assert (
+            single_node_result.peak_pending_events
+            < single_node_result.events_processed
+        )
+
+    def test_events_per_request(self, single_node_result):
+        ratio = single_node_result.events_per_request
+        assert ratio == (
+            single_node_result.events_processed / single_node_result.completed
+        )
+        # Each request needs at least arrival + completion.
+        assert ratio > 2.0
+
+    def test_events_per_request_empty(self):
+        from repro.server.metrics import RunResult
+        from repro.simkit.stats import PercentileTracker
+
+        empty = RunResult(
+            config_name="c", workload_name="w", qps=1.0, horizon=1.0,
+            cores=1, residency={}, transitions_per_second={},
+            avg_core_power=0.0, package_power=0.0,
+            server_latency=PercentileTracker(), completed=0,
+            turbo_grant_rate=0.0, network_latency=0.0,
+        )
+        assert empty.events_per_request == 0.0
+
+    def test_cluster_counters_are_fleet_wide(self, cluster_spec_result):
+        _, result = cluster_spec_result
+        assert result.events_processed > 0
+        assert result.peak_pending_events > 0
+
+    def test_store_round_trip_preserves_counters(self, single_node_result):
+        restored = result_from_dict(result_to_dict(single_node_result))
+        assert restored.events_processed == single_node_result.events_processed
+        assert (
+            restored.peak_pending_events
+            == single_node_result.peak_pending_events
+        )
+
+
+class TestEmitPerf:
+    def test_emit_levels_registered(self):
+        assert "perf" in EMIT_LEVELS
+
+    def test_perf_record_keys(self, single_node_result):
+        spec = ScenarioSpec("memcached", "baseline", qps=40_000,
+                            horizon=0.02, seed=9)
+        record = result_record(spec, single_node_result, emit="perf")
+        assert record["events_processed"] == single_node_result.events_processed
+        assert (
+            record["peak_pending_events"]
+            == single_node_result.peak_pending_events
+        )
+        assert record["events_per_request"] == pytest.approx(
+            single_node_result.events_per_request
+        )
+
+    def test_headline_record_has_no_perf_keys(self, single_node_result):
+        spec = ScenarioSpec("memcached", "baseline", qps=40_000,
+                            horizon=0.02, seed=9)
+        record = result_record(spec, single_node_result, emit="headline")
+        assert "events_processed" not in record
+        assert "peak_pending_events" not in record
+
+    def test_unknown_emit_rejected(self, single_node_result):
+        spec = ScenarioSpec("memcached", "baseline", qps=40_000,
+                            horizon=0.02, seed=9)
+        with pytest.raises(ConfigurationError):
+            result_record(spec, single_node_result, emit="bogus")
+
+
+class TestCliEmitPerf:
+    def test_sweep_emit_perf_jsonl(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        out = tmp_path / "perf.jsonl"
+        code = main([
+            "sweep", "--kqps", "20", "--horizon", "0.01",
+            "--emit", "perf", "--no-cache", "-o", str(out),
+        ])
+        assert code == 0
+        records = [
+            json.loads(line) for line in out.read_text().splitlines() if line
+        ]
+        assert records
+        for record in records:
+            assert record["events_processed"] > 0
+            assert record["peak_pending_events"] > 0
+            assert record["events_per_request"] > 0

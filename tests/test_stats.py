@@ -212,3 +212,48 @@ class TestWeightedMean:
     def test_zero_weight_rejected(self):
         with pytest.raises(ConfigurationError):
             weighted_mean([1.0], [0.0])
+
+
+class TestPercentileCaching:
+    """The sorted-sample cache: one sort serves every percentile query."""
+
+    def test_p999(self):
+        tracker = PercentileTracker()
+        tracker.add_many(float(i) for i in range(1, 1001))
+        assert tracker.p999 == pytest.approx(999.001)
+
+    def test_percentiles_batch(self):
+        tracker = PercentileTracker()
+        tracker.add_many([5.0, 1.0, 3.0, 2.0, 4.0])
+        assert tracker.percentiles([0, 50, 100]) == [1.0, 3.0, 5.0]
+
+    def test_single_sort_for_many_percentiles(self):
+        class CountingList(list):
+            sorts = 0
+
+            def sort(self, *args, **kwargs):
+                CountingList.sorts += 1
+                super().sort(*args, **kwargs)
+
+        tracker = PercentileTracker()
+        tracker._samples = CountingList([3.0, 1.0, 2.0, 9.0, 5.0])
+        tracker._dirty = True
+        _ = tracker.p50, tracker.p95, tracker.p99, tracker.p999
+        _ = tracker.percentiles([10, 20, 30, 40])
+        assert CountingList.sorts == 1
+
+    def test_add_invalidates_cache(self):
+        class CountingList(list):
+            sorts = 0
+
+            def sort(self, *args, **kwargs):
+                CountingList.sorts += 1
+                super().sort(*args, **kwargs)
+
+        tracker = PercentileTracker()
+        tracker._samples = CountingList([2.0, 1.0])
+        tracker._dirty = True
+        assert tracker.p50 == pytest.approx(1.5)
+        tracker.add(0.5)
+        assert tracker.p50 == pytest.approx(1.0)
+        assert CountingList.sorts == 2
