@@ -1,0 +1,137 @@
+"""Benchmarks for sharded cluster execution: the fleet-scale path.
+
+Tracks the tentpole win of partitioned/sharded execution over the classic
+shared-simulator cluster at fleet scale: a 1000-node random-balancer
+point at 25 MQPS x 0.4 s (10^7 requests, sketch-backed latency). Three
+views of the same point:
+
+- ``classic``   — the shared-simulator :class:`Cluster` (one heap, one
+  O(nodes) balancer scan per arrival): the single-process comparator.
+- ``partitioned`` — per-node independent simulation with exact arrival
+  thinning and an exact merge, in-process.
+- ``sharded_s4``  — the same node ranges over a 4-process pool
+  (bit-identical result; adds real parallelism on multicore hosts).
+
+The full-size point takes minutes per round (that is the point) and is
+benchmarked cold with one round. ``REPRO_BENCH_QUICK=1`` switches to a
+100-node scaled replica under *different benchmark names*, so CI's quick
+numbers never gate against the committed full-size floors (unbaselined /
+missing entries are informational in the comparator).
+"""
+
+import os
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.sharding import execute_partitioned, run_sharded
+from repro.sweep import ScenarioSpec
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+_skip_when_quick = pytest.mark.skipif(
+    QUICK, reason="REPRO_BENCH_QUICK set: full-size fleet bench skipped"
+)
+
+
+def full_size(fn):
+    """Full-size points additionally carry the ``full_fleet`` marker:
+    plain ``pytest`` collects this directory too, and a plain run must
+    not absorb ~18 minutes of fleet benchmarks (the benchmarks/
+    conftest skips ``full_fleet`` unless ``--benchmark-only`` is set,
+    which `repro bench` always passes)."""
+    return pytest.mark.full_fleet(_skip_when_quick(fn))
+
+
+quick_size = pytest.mark.skipif(
+    not QUICK, reason="quick replica only runs with REPRO_BENCH_QUICK=1"
+)
+
+#: 25 KQPS per 4-core node — the memcached mid-load operating point.
+PER_NODE_QPS = 25_000.0
+
+
+def _fleet_spec(nodes: int, horizon: float) -> ScenarioSpec:
+    return ScenarioSpec(
+        workload="memcached", config="baseline",
+        qps=PER_NODE_QPS * nodes, nodes=nodes, cores=4,
+        horizon=horizon, seed=7, balancer="random", sketch_error=0.01,
+    )
+
+
+#: The acceptance point: 1000 nodes x 25 KQPS x 0.4 s = 10^7 requests.
+FULL_SPEC = _fleet_spec(nodes=1000, horizon=0.4)
+
+#: CI replica: 100 nodes x 25 KQPS x 0.02 s = 5 x 10^4 requests.
+QUICK_SPEC = _fleet_spec(nodes=100, horizon=0.02)
+
+
+def _run_classic(spec: ScenarioSpec):
+    """The pre-sharding execution: every node on one shared simulator."""
+    cluster = Cluster(
+        workload_factory=spec.build_workload,
+        configuration=spec.build_configuration(),
+        qps=spec.qps, nodes=spec.nodes, cores=spec.cores,
+        horizon=spec.horizon, seed=spec.seed, balancer=spec.balancer,
+        fanout=spec.fanout, snoops_enabled=spec.snoops,
+        governor_factory=spec.governor_factory(),
+        sketch_error=spec.sketch_error,
+    )
+    return cluster.run()
+
+
+def _check(spec: ScenarioSpec, result) -> None:
+    assert result.completed > 0
+    assert len(result.node_detail) == spec.nodes
+    # The sketch keeps the latency tracker at O(bins), not O(requests):
+    # the memory story that lets the 10^7-request point fit flat.
+    assert result.server_latency.sketch.num_bins <= 2048
+    assert result.server_latency.count == result.completed
+
+
+@full_size
+def test_bench_fleet_1000n_classic_shared_sim(benchmark):
+    result = benchmark.pedantic(
+        lambda: _run_classic(FULL_SPEC), rounds=1, iterations=1
+    )
+    _check(FULL_SPEC, result)
+
+
+@full_size
+def test_bench_fleet_1000n_partitioned(benchmark):
+    result = benchmark.pedantic(
+        lambda: execute_partitioned(FULL_SPEC), rounds=1, iterations=1
+    )
+    _check(FULL_SPEC, result)
+
+
+@full_size
+def test_bench_fleet_1000n_sharded_s4(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_sharded(FULL_SPEC, shards=4), rounds=1, iterations=1
+    )
+    _check(FULL_SPEC, result)
+
+
+@quick_size
+def test_bench_fleet_quick_100n_classic_shared_sim(benchmark):
+    result = benchmark.pedantic(
+        lambda: _run_classic(QUICK_SPEC), rounds=1, iterations=1
+    )
+    _check(QUICK_SPEC, result)
+
+
+@quick_size
+def test_bench_fleet_quick_100n_partitioned(benchmark):
+    result = benchmark.pedantic(
+        lambda: execute_partitioned(QUICK_SPEC), rounds=1, iterations=1
+    )
+    _check(QUICK_SPEC, result)
+
+
+@quick_size
+def test_bench_fleet_quick_100n_sharded_s4(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_sharded(QUICK_SPEC, shards=4), rounds=1, iterations=1
+    )
+    _check(QUICK_SPEC, result)

@@ -39,7 +39,25 @@ SUITES: Dict[str, List[str]] = {
     "simulator": ["benchmarks/test_bench_simulator.py"],
     "sweep": ["benchmarks/test_bench_sweep.py"],
     "cluster": ["benchmarks/test_bench_cluster.py"],
-    "all": ["benchmarks"],
+    # Fleet-scale sharded execution; minutes per round at full size.
+    # Set REPRO_BENCH_QUICK=1 for the CI-sized replica (distinct
+    # benchmark names, so quick numbers never gate full-size floors).
+    "cluster_sharded": ["benchmarks/test_bench_cluster_sharded.py"],
+    # "all" enumerates every file except the fleet-scale suite above:
+    # that one takes minutes per round at full size and must stay an
+    # explicit opt-in, not a surprise inside the default run.
+    "all": [
+        "benchmarks/test_bench_simulator.py",
+        "benchmarks/test_bench_sweep.py",
+        "benchmarks/test_bench_cluster.py",
+        "benchmarks/test_bench_extensions.py",
+        "benchmarks/test_bench_fig8.py",
+        "benchmarks/test_bench_fig9_fig10.py",
+        "benchmarks/test_bench_fig11.py",
+        "benchmarks/test_bench_fig12_fig13.py",
+        "benchmarks/test_bench_table5_validation.py",
+        "benchmarks/test_bench_tables.py",
+    ],
 }
 
 #: Default relative regression tolerance (fraction of the baseline time).

@@ -64,6 +64,7 @@ from repro.sweep import (
     FailurePolicy,
     ProgressRenderer,
     ScenarioGrid,
+    ShardedExecutor,
     SweepRunner,
     configure_default_runner,
     default_runner,
@@ -112,6 +113,7 @@ def _configured_runner(
     cache_dir: Optional[str] = None,
     policy: Optional[FailurePolicy] = None,
     progress: Optional[ProgressRenderer] = None,
+    shards: Optional[int] = None,
 ) -> Iterator[SweepRunner]:
     """Point the process-wide runner at this command's configuration.
 
@@ -120,7 +122,12 @@ def _configured_runner(
     of :func:`repro.sweep.default_runner` in the same process.
     """
     previous = default_runner()
-    executor = "process" if jobs is not None and jobs > 1 else "serial"
+    if shards is not None:
+        # --shards parallelises *within* each cluster point (node-range
+        # sharding, exact merge) instead of across points.
+        executor = ShardedExecutor(shards, jobs=jobs, policy=policy)
+    else:
+        executor = "process" if jobs is not None and jobs > 1 else "serial"
     runner = configure_default_runner(
         executor=executor,
         jobs=jobs,
@@ -285,6 +292,7 @@ def _build_sweep_grid(args: argparse.Namespace) -> ScenarioGrid:
             ("--balancer", args.balancer != ["random"]),
             ("--fanout", args.fanout != [1]),
             ("--hedge-ms", args.hedge_ms is not None),
+            ("--sketch-error", args.sketch_error is not None),
         ]
         conflicting = [name for name, given in axis_flags if given]
         if conflicting:
@@ -314,6 +322,7 @@ def _build_sweep_grid(args: argparse.Namespace) -> ScenarioGrid:
         balancers=args.balancer,
         fanouts=args.fanout,
         hedge_ms=args.hedge_ms,
+        sketch_error=args.sketch_error,
     )
 
 
@@ -327,6 +336,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             # than rejecting it: serial execution cannot interrupt a
             # running point.
             raise ConfigurationError("--timeout requires --jobs N (N > 1)")
+        if args.timeout is not None and args.shards is not None:
+            # The sharded executor runs points in order in this process;
+            # like the serial executor it cannot interrupt one.
+            raise ConfigurationError(
+                "--timeout cannot be combined with --shards"
+            )
+        if args.shards is not None and args.shards <= 0:
+            raise ConfigurationError(
+                f"--shards must be positive, got {args.shards}"
+            )
         grid = _build_sweep_grid(args)
         policy = FailurePolicy(
             mode=args.on_error, timeout=args.timeout, retries=args.retries
@@ -337,7 +356,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     progress = ProgressRenderer(label="sweep") if args.progress else None
     with _configured_runner(
-        args.jobs, args.no_cache, args.cache_dir, policy=policy, progress=progress
+        args.jobs, args.no_cache, args.cache_dir, policy=policy,
+        progress=progress, shards=args.shards,
     ) as runner:
         try:
             results = runner.run_grid(grid)
@@ -564,8 +584,22 @@ def build_parser() -> argparse.ArgumentParser:
              "MS milliseconds onto another node (first answer wins)",
     )
     sweep.add_argument(
+        "--sketch-error", type=float, default=None, metavar="FRAC",
+        help="track latency with a mergeable bounded-memory DDSketch at "
+             "this relative-error guarantee (e.g. 0.01) instead of exact "
+             "samples — the fleet-scale memory knob",
+    )
+    sweep.add_argument(
+        "--shards", type=int, default=None, metavar="S",
+        help="split each cluster point into S node-range shards run on a "
+             "process pool and merged exactly (bit-identical to the "
+             "serial result); requires stateless balancing "
+             "(random/round_robin), fanout 1 and no hedging",
+    )
+    sweep.add_argument(
         "-j", "--jobs", type=int, metavar="N",
-        help="simulate points over N worker processes",
+        help="simulate points over N worker processes (with --shards: "
+             "pool width for in-point sharding instead)",
     )
     sweep.add_argument(
         "--emit", choices=list(EMIT_LEVELS), default="headline",
@@ -626,8 +660,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "suite", nargs="?", default=None,
-        help="suite name (simulator, sweep, cluster, all); default: all, "
-             "or simulator with --quick",
+        help="suite name (simulator, sweep, cluster, cluster_sharded, "
+             "all); default: all, or simulator with --quick",
     )
     bench.add_argument(
         "--quick", action="store_true",

@@ -15,6 +15,9 @@ package composes the per-node simulator into that setting:
   :class:`~repro.server.node.ServerNode` instances on one shared
   simulator, producing a cluster-level
   :class:`~repro.server.metrics.RunResult` with per-node breakdowns.
+- :mod:`repro.cluster.sharding` — partitioned/sharded execution for
+  stateless-balancer points: per-node exact arrival thinning, process
+  sharding, and an order-invariant exact merge.
 
 Cluster points are ordinary :class:`~repro.sweep.spec.ScenarioSpec`
 instances (``nodes``/``balancer``/``fanout``/``hedge_ms`` axes), so they
@@ -24,6 +27,7 @@ progress rendering unchanged.
 
 from repro.cluster.balancer import (
     BALANCER_FACTORIES,
+    STATELESS_BALANCERS,
     JoinShortestQueueBalancer,
     LoadBalancer,
     PowerOfDChoicesBalancer,
@@ -34,9 +38,19 @@ from repro.cluster.balancer import (
 )
 from repro.cluster.cluster import Cluster
 from repro.cluster.fanout import FanoutDispatcher
+from repro.cluster.sharding import (
+    check_shardable,
+    execute_partitioned,
+    is_shardable,
+    merge_node_results,
+    run_shard,
+    run_sharded,
+    shard_ranges,
+)
 
 __all__ = [
     "BALANCER_FACTORIES",
+    "STATELESS_BALANCERS",
     "Cluster",
     "FanoutDispatcher",
     "JoinShortestQueueBalancer",
@@ -44,6 +58,13 @@ __all__ = [
     "PowerOfDChoicesBalancer",
     "RandomBalancer",
     "RoundRobinBalancer",
+    "check_shardable",
+    "execute_partitioned",
+    "is_shardable",
     "make_balancer",
+    "merge_node_results",
     "register_balancer",
+    "run_shard",
+    "run_sharded",
+    "shard_ranges",
 ]

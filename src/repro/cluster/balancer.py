@@ -141,6 +141,15 @@ class PowerOfDChoicesBalancer(LoadBalancer):
         return targets
 
 
+#: Balancers that never read the cross-node load vector: their pick
+#: sequence is a function of the RNG stream / cursor alone. Only these
+#: admit partitioned (per-node independent arrival stream) execution and
+#: therefore sharding — jsq and power_of_two read live queue depths
+#: across all nodes, which requires one shared simulator. Name-based on
+#: purpose: a custom registered balancer is conservatively treated as
+#: stateful.
+STATELESS_BALANCERS = frozenset({"random", "round_robin"})
+
 #: Balancer factories by name. Extend via :func:`register_balancer`.
 BALANCER_FACTORIES: Dict[str, Callable[[], LoadBalancer]] = {
     "random": RandomBalancer,

@@ -84,6 +84,7 @@ class Cluster:
         governor_factory=None,
         uncore_watts: float = 38.0,
         loadgen: Optional[LoadGenerator] = None,
+        sketch_error: Optional[float] = None,
     ):
         if nodes <= 0:
             raise ConfigurationError(f"need at least one node, got {nodes}")
@@ -115,6 +116,7 @@ class Cluster:
                 governor_factory=governor_factory,
                 sim=self.sim,
                 external_arrivals=True,
+                sketch_error=sketch_error,
             )
             for i in range(nodes)
         ]
@@ -123,7 +125,7 @@ class Cluster:
         self.balancer = balancer_obj
         self.dispatcher = FanoutDispatcher(
             self.sim, self.server_nodes, balancer_obj,
-            fanout=fanout, hedge_s=hedge_s,
+            fanout=fanout, hedge_s=hedge_s, sketch_error=sketch_error,
         )
         # The logical arrival stream uses the same derivation as a
         # standalone node's internal loadgen (seed + 1) and the same

@@ -74,6 +74,7 @@ class FanoutDispatcher:
         balancer: LoadBalancer,
         fanout: int = 1,
         hedge_s: Optional[float] = None,
+        sketch_error: Optional[float] = None,
     ):
         if not nodes:
             raise ConfigurationError("need at least one node")
@@ -88,8 +89,9 @@ class FanoutDispatcher:
         self.balancer = balancer
         self.fanout = fanout
         self.hedge_s = hedge_s
-        #: Logical (join-on-slowest-leaf) request latency.
-        self.latency = PercentileTracker()
+        #: Logical (join-on-slowest-leaf) request latency; exact by
+        #: default, sketch-backed when ``sketch_error`` is set.
+        self.latency = PercentileTracker(sketch_error=sketch_error)
         #: Logical requests fully completed.
         self.completed = 0
         #: Duplicate leaves issued by the hedge timer.

@@ -20,6 +20,18 @@ class PointTimeoutError(SimulationError):
     """A sweep point exceeded its :class:`FailurePolicy` time budget."""
 
 
+class ShardingError(SimulationError):
+    """A cluster point cannot be executed as independent shards.
+
+    Raised when sharded execution is requested for a point whose balancer
+    is stateful (``jsq``/``power_of_two`` read live cross-node queue
+    depths) or whose requests couple nodes (``fanout > 1``, hedging):
+    those need every node on one simulator. Run such points single-process
+    (drop ``--shards`` / use the serial or process executor), or switch to
+    a stateless balancer (``random``/``round_robin``).
+    """
+
+
 class ConfigurationError(ReproError):
     """A model or experiment was configured with inconsistent parameters."""
 

@@ -17,6 +17,10 @@ existing scenario grid machinery:
 - ``cluster_energy`` — cluster-wide power versus delivered load:
   energy-proportionality metrics (dynamic range, proportionality gap)
   for the whole fleet rather than one socket.
+- ``fleet_scale`` — tail latency and fleet power versus fleet *size* at
+  constant per-node load, on the partitioned sharded-execution path
+  (random balancing, sketch-backed percentiles): the fleet-level view
+  the sharding tentpole exists for, with bounded memory per point.
 """
 
 from __future__ import annotations
@@ -334,9 +338,98 @@ class ClusterEnergyExperiment(Experiment):
         )
 
 
+# -- fleet_scale ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FleetScaleParams(ClusterParams):
+    """``fleet_scale`` sweep: fleet sizes at constant per-node load.
+
+    Every point is shardable (random balancing, single-leaf requests)
+    and sketch-backed, so it runs on the partitioned execution path with
+    memory bounded by the sketch's bucket cap rather than the request
+    count — the regime that makes 1000-node fleets tractable.
+    """
+
+    fleet_sizes: Tuple[int, ...] = (16, 64, 256)
+    per_node_kqps: float = 25.0
+    sketch_error: float = 0.01
+
+
+@register_experiment
+class FleetScaleExperiment(Experiment):
+    id = "fleet_scale"
+    title = "Fleet scaling: tail latency and power vs fleet size (sharded path)."
+    artifact = "extension"
+    Params = FleetScaleParams
+
+    def _spec(self, nodes: int) -> ScenarioSpec:
+        p = self.params
+        return ScenarioSpec(
+            workload=p.workload, config=p.config,
+            qps=p.per_node_kqps * 1000.0 * nodes,
+            cores=p.cores, horizon=p.horizon, seed=p.seed,
+            nodes=nodes, balancer="random",
+            sketch_error=p.sketch_error,
+        )
+
+    def grid(self) -> ScenarioGrid:
+        return ScenarioGrid([
+            self._spec(nodes) for nodes in self.params.fleet_sizes
+        ])
+
+    def analyze(self, results: Optional[ResultMap] = None) -> ExperimentResult:
+        p = self.params
+        records: List[Dict[str, object]] = []
+        for nodes in p.fleet_sizes:
+            run = self.point(results, self._spec(nodes))
+            records.append({
+                "per_node_kqps": p.per_node_kqps,
+                "p999_latency": run.server_latency.p999,
+                "power_per_node": run.package_power / nodes,
+                **run.to_record(detail=False),
+            })
+        notes = [
+            "Per-node load is constant across fleet sizes; with random "
+            "balancing each node sees an independent Poisson stream, so "
+            "per-request percentiles should be scale-invariant up to "
+            f"sampling noise (sketch error {p.sketch_error:.0%}).",
+        ]
+        return self.make_result(records=records, payload=records, notes=notes)
+
+    def render_text(self, result: ExperimentResult) -> str:
+        p = self.params
+        lines = [
+            f"Fleet scaling @ {p.per_node_kqps:.0f} KQPS/node "
+            f"({p.workload}/{p.config}, random balancing, "
+            f"sketch alpha={p.sketch_error:.0%})"
+        ]
+        rows = [
+            [
+                str(record["nodes"]),
+                f"{record['achieved_qps'] / 1e6:.2f}M",
+                f"{seconds_to_us(record['avg_latency']):.1f}",
+                f"{seconds_to_us(record['p99_latency']):.1f}",
+                f"{seconds_to_us(record['p999_latency']):.1f}",
+                f"{record['power_per_node']:.1f}",
+            ]
+            for record in result.records
+        ]
+        lines.append(format_table(
+            ["nodes", "QPS", "avg", "p99", "p99.9", "W/node"], rows
+        ))
+        lines.extend(result.notes)
+        return "\n".join(lines)
+
+    def quick_params(self) -> FleetScaleParams:
+        return FleetScaleParams(
+            fleet_sizes=(2, 4), per_node_kqps=20.0, horizon=0.02, cores=4,
+        )
+
+
 def main() -> None:  # pragma: no cover - convenience entry point
     for experiment_cls in (
-        FanoutTailExperiment, BalancerStudyExperiment, ClusterEnergyExperiment
+        FanoutTailExperiment, BalancerStudyExperiment, ClusterEnergyExperiment,
+        FleetScaleExperiment,
     ):
         experiment = experiment_cls()
         print(experiment.render_text(experiment.execute()))

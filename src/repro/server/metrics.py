@@ -136,6 +136,10 @@ class RunResult:
             "turbo_grant_rate": self.turbo_grant_rate,
             "snoops_served": self.snoops_served,
         }
+        if self.server_latency.sketch_error is not None:
+            # Sketch-backed runs label their latency figures with the
+            # relative-error guarantee; exact records keep their shape.
+            record["latency_sketch_error"] = self.server_latency.sketch_error
         if self.node_detail is not None:
             # Cluster runs only, so single-node records keep their shape.
             record["nodes"] = len(self.node_detail)

@@ -140,6 +140,8 @@ class ServerNode:
         sim: Optional[Simulator] = None,
         external_arrivals: bool = False,
         fast_path: bool = True,
+        sketch_error: Optional[float] = None,
+        loadgen: Optional[LoadGenerator] = None,
     ):
         if cores <= 0:
             raise ConfigurationError("need at least one core")
@@ -174,7 +176,12 @@ class ServerNode:
         # Python frames per arrival. Guarded by the golden digest tests.
         self._getrandbits = self._dispatch_rng.getrandbits
         self._core_bits = cores.bit_length()
-        self._loadgen: LoadGenerator = OpenLoopPoisson(qps, seed=seed + 1)
+        # An explicit loadgen overrides the default Poisson stream (the
+        # sharded round-robin path feeds Erlang-thinned arrivals here);
+        # the default keeps the seed + 1 derivation bit-identical.
+        self._loadgen: LoadGenerator = (
+            loadgen if loadgen is not None else OpenLoopPoisson(qps, seed=seed + 1)
+        )
         self._sample_service = workload.service.sample
         self._frequency_derate = configuration.frequency_derate
 
@@ -203,7 +210,10 @@ class ServerNode:
             SnoopTrafficGenerator(workload.snoop_rate_hz, seed=seed + 100 + i)
             for i in range(cores)
         ]
-        self.latency = PercentileTracker()
+        # sketch_error=None keeps exact percentiles (the default for all
+        # single-node paths); a float selects the bounded-memory
+        # mergeable DDSketch backend for fleet-scale runs.
+        self.latency = PercentileTracker(sketch_error=sketch_error)
         self._latency_add = self.latency.add
         self.completed = 0
         self.snoops_served = 0

@@ -21,6 +21,7 @@ from repro.simkit.distributions import (
     Uniform,
     make_distribution,
 )
+from repro.simkit.sketch import DDSketch
 from repro.simkit.stats import Histogram, OnlineStats, PercentileTracker
 from repro.simkit.trace import TraceRecorder
 
@@ -35,6 +36,7 @@ __all__ = [
     "Pareto",
     "Uniform",
     "make_distribution",
+    "DDSketch",
     "Histogram",
     "OnlineStats",
     "PercentileTracker",

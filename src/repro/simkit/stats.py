@@ -2,19 +2,23 @@
 
 The evaluation reports average and tail (p99) request latency and average
 power. :class:`OnlineStats` keeps numerically-stable running moments
-(Welford), :class:`PercentileTracker` keeps all samples for exact
-percentiles (simulations here are < a few million samples, so exact is
-affordable and avoids quantile-sketch error in the reproduction), and
-:class:`Histogram` provides fixed-bin summaries for traces.
+(Welford), :class:`PercentileTracker` tracks percentiles — exactly by
+default (all samples kept; simulations up to a few million samples are
+affordable and avoid quantile-sketch error in the reproduction), or via
+a bounded-memory mergeable :class:`~repro.simkit.sketch.DDSketch` when
+constructed with ``sketch_error`` (fleet-scale runs; see
+:mod:`repro.cluster.sharding`) — and :class:`Histogram` provides
+fixed-bin summaries for traces.
 """
 
 from __future__ import annotations
 
 import math
 from bisect import bisect_left
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.simkit.sketch import DDSketch
 
 
 class OnlineStats:
@@ -90,20 +94,72 @@ class OnlineStats:
 
 
 class PercentileTracker:
-    """Exact percentiles over all recorded samples.
+    """Percentiles over recorded samples: exact, or sketch-backed.
 
-    Samples are appended in O(1) and sorted lazily on the first query
-    after a mutation; the sorted array is then cached until the next
-    ``add``/``add_many`` invalidates it. An ``analyze()`` pass reading
-    p50/p95/p99/p99.9 therefore sorts once, not once per percentile —
-    recording millions of latencies costs O(n log n) total instead of the
-    O(n^2) of sorted insertion or the O(k·n log n) of re-sorting per
-    query.
+    Exact mode (the default): samples are appended in O(1) and sorted
+    lazily on the first query after a mutation; the sorted array is then
+    cached until the next ``add``/``add_many`` invalidates it. An
+    ``analyze()`` pass reading p50/p95/p99/p99.9 therefore sorts once,
+    not once per percentile — recording millions of latencies costs
+    O(n log n) total instead of the O(n^2) of sorted insertion or the
+    O(k·n log n) of re-sorting per query.
+
+    Sketch mode (``sketch_error=alpha``): samples stream into a
+    bounded-memory :class:`~repro.simkit.sketch.DDSketch` whose
+    percentiles carry at most ``alpha`` relative error (documented in
+    :mod:`repro.simkit.sketch`). Memory is O(max_bins) regardless of
+    sample count, and two sketch-backed trackers :meth:`merge` exactly —
+    the backend fleet-scale sharded execution uses. ``samples`` is
+    unavailable in sketch mode (there are none); ``count``, ``mean`` and
+    min/max stay exact.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, sketch_error: Optional[float] = None) -> None:
         self._samples: List[float] = []
         self._dirty = False
+        self._sketch: Optional[DDSketch] = None
+        if sketch_error is not None:
+            self._sketch = DDSketch(relative_error=sketch_error)
+            self._bind_sketch_hot_path()
+
+    def _bind_sketch_hot_path(self) -> None:
+        # Instance-attribute override: sketch-mode add/add_many go
+        # straight to the sketch with no per-sample dispatch branch, and
+        # the exact-mode class methods stay byte-identical to before.
+        self.add = self._sketch.add
+        self.add_many = self._sketch.add_many
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        # Drop the bound-method overrides; __setstate__ re-binds them.
+        state.pop("add", None)
+        state.pop("add_many", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        if self._sketch is not None:
+            self._bind_sketch_hot_path()
+
+    @classmethod
+    def _from_sketch(cls, sketch: DDSketch) -> "PercentileTracker":
+        """Wrap an existing sketch (merge and store-decode paths)."""
+        tracker = cls.__new__(cls)
+        tracker._samples = []
+        tracker._dirty = False
+        tracker._sketch = sketch
+        tracker._bind_sketch_hot_path()
+        return tracker
+
+    @property
+    def sketch_error(self) -> Optional[float]:
+        """The sketch's relative-error bound, or ``None`` in exact mode."""
+        return None if self._sketch is None else self._sketch.relative_error
+
+    @property
+    def sketch(self) -> Optional[DDSketch]:
+        """The backing sketch (``None`` in exact mode)."""
+        return self._sketch
 
     def add(self, value: float) -> None:
         self._samples.append(value)
@@ -122,6 +178,8 @@ class PercentileTracker:
 
     @property
     def count(self) -> int:
+        if self._sketch is not None:
+            return self._sketch.count
         return len(self._samples)
 
     @property
@@ -130,11 +188,22 @@ class PercentileTracker:
 
         Exposed so trackers can be serialized exactly (repro.store); the
         returned list is safe to mutate.
+
+        Raises:
+            ConfigurationError: in sketch mode — a sketch-backed tracker
+                keeps bucket counts, not samples (serialize its
+                :attr:`sketch` state instead).
         """
+        if self._sketch is not None:
+            raise ConfigurationError(
+                "sketch-backed PercentileTracker keeps no samples; "
+                "serialize tracker.sketch.to_state() instead"
+            )
         return list(self._samples)
 
     def percentile(self, p: float) -> float:
-        """Exact percentile with linear interpolation (numpy 'linear').
+        """Percentile: exact with linear interpolation (numpy 'linear'),
+        or within ``sketch_error`` relative error in sketch mode.
 
         Raises:
             ConfigurationError: if p outside [0, 100].
@@ -142,6 +211,8 @@ class PercentileTracker:
         """
         if not 0 <= p <= 100:
             raise ConfigurationError(f"percentile must be in [0, 100], got {p}")
+        if self._sketch is not None:
+            return self._sketch.quantile(p / 100.0)
         if not self._sorted:
             raise ValueError("no samples recorded")
         if len(self._sorted) == 1:
@@ -157,9 +228,71 @@ class PercentileTracker:
 
     @property
     def mean(self) -> float:
+        if self._sketch is not None:
+            return self._sketch.mean
         if not self._samples:
             return 0.0
         return sum(self._samples) / len(self._samples)
+
+    def merge(self, other: "PercentileTracker") -> "PercentileTracker":
+        """A new tracker equivalent to seeing both streams.
+
+        Exact mode concatenates the sample lists in argument order
+        (percentiles depend only on the sample *multiset*, so any merge
+        order yields bit-identical percentiles; the mean's float
+        summation order is the concatenation order). Sketch mode merges
+        bucket counts — exact integer addition, order-independent.
+
+        Raises:
+            ConfigurationError: on mixed backends or mismatched sketch
+                parameters.
+        """
+        if (self._sketch is None) != (other._sketch is None):
+            raise ConfigurationError(
+                "cannot merge an exact PercentileTracker with a "
+                "sketch-backed one; build both with the same sketch_error"
+            )
+        if self._sketch is not None:
+            return PercentileTracker._from_sketch(self._sketch.merge(other._sketch))
+        merged = PercentileTracker()
+        merged._samples = self._samples + other._samples
+        merged._dirty = bool(merged._samples)
+        return merged
+
+    @classmethod
+    def merge_all(cls, trackers: Iterable["PercentileTracker"]) -> "PercentileTracker":
+        """Merge many trackers in one pass (single list build / sketch fold).
+
+        Equivalent to folding :meth:`merge` left-to-right, but exact mode
+        extends one output list instead of building K intermediate
+        copies — O(total samples), not O(K * total).
+        """
+        trackers = list(trackers)
+        if not trackers:
+            return cls()
+        first_sketch = trackers[0]._sketch
+        for tracker in trackers[1:]:
+            if (tracker._sketch is None) != (first_sketch is None):
+                raise ConfigurationError(
+                    "cannot merge exact and sketch-backed "
+                    "PercentileTrackers; build all with the same sketch_error"
+                )
+        if first_sketch is not None:
+            # Start from an empty merge so the result never aliases an
+            # input tracker's live sketch.
+            merged_sketch = DDSketch(
+                first_sketch.relative_error, first_sketch.max_bins
+            ).merge(first_sketch)
+            for tracker in trackers[1:]:
+                merged_sketch = merged_sketch.merge(tracker._sketch)
+            return cls._from_sketch(merged_sketch)
+        merged = cls()
+        out: List[float] = []
+        for tracker in trackers:
+            out.extend(tracker._samples)
+        merged._samples = out
+        merged._dirty = bool(out)
+        return merged
 
     def percentiles(self, ps: Sequence[float]) -> List[float]:
         """Several percentiles off one cached sort (order preserved)."""
@@ -183,7 +316,10 @@ class PercentileTracker:
         return self.percentile(99.9)
 
     def fraction_above(self, threshold: float) -> float:
-        """Fraction of samples strictly above ``threshold``."""
+        """Fraction of samples strictly above ``threshold`` (exact mode);
+        approximate within the bucket resolution in sketch mode."""
+        if self._sketch is not None:
+            return self._sketch.fraction_above(threshold)
         if not self._sorted:
             return 0.0
         idx = bisect_left(self._sorted, threshold)

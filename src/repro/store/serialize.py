@@ -2,11 +2,17 @@
 
 A run's observables must survive a disk round trip bit-for-bit: experiments
 compare powers and percentiles for equality across executors, so lossy
-encodings (e.g. quantile sketches, decimal-string floats) would break the
-"store hit == fresh simulation" contract. Latency samples are therefore
-packed as raw IEEE-754 doubles (``struct``), deflated (``zlib``) and
-base64-armoured so the whole record is a single JSON document: ~40 000
-samples from a 100 KQPS x 0.4 s point compress to a few hundred KB.
+*re-encodings* would break the "store hit == fresh simulation" contract.
+Exact-mode latency samples are therefore packed as raw IEEE-754 doubles
+(``struct``), deflated (``zlib``) and base64-armoured so the whole record
+is a single JSON document: ~40 000 samples from a 100 KQPS x 0.4 s point
+compress to a few hundred KB.
+
+Sketch-backed results (``sketch_error`` set on the spec) are *already*
+bounded-error summaries; the store round-trips the sketch's integer
+bucket state exactly (format v3), so a decoded tracker reports the same
+percentiles — and merges identically — as the one that was encoded. v2
+rows (exact samples only) remain readable.
 """
 
 from __future__ import annotations
@@ -18,11 +24,17 @@ from typing import Dict, List, Sequence
 
 from repro.errors import ConfigurationError
 from repro.server.metrics import RunResult
+from repro.simkit.sketch import DDSketch
 from repro.simkit.stats import PercentileTracker
 
 #: Bump when the record layout changes; readers treat other values as a miss.
 #: v2: added the events_processed / peak_pending_events perf counters.
-FORMAT_VERSION = 2
+#: v3: latency may be a DDSketch state blob instead of raw samples.
+FORMAT_VERSION = 3
+
+#: Formats :func:`result_from_dict` can decode. v2 rows predate the
+#: sketch backend and always carry exact samples.
+SUPPORTED_VERSIONS = (2, 3)
 
 
 def encode_samples(samples: Sequence[float]) -> str:
@@ -38,9 +50,25 @@ def decode_samples(blob: str) -> List[float]:
 
 
 def result_to_dict(result: RunResult) -> Dict[str, object]:
-    """JSON-safe dict capturing a :class:`RunResult` exactly."""
+    """JSON-safe dict capturing a :class:`RunResult` exactly.
+
+    Exact-mode latency goes out as a packed sample blob
+    (``server_latency_samples``); sketch-mode latency as the sketch's
+    integer bucket state (``server_latency_sketch``) — JSON round-trips
+    both exactly.
+    """
+    tracker = result.server_latency
+    if tracker.sketch_error is not None:
+        latency_fields: Dict[str, object] = {
+            "server_latency_sketch": tracker.sketch.to_state(),
+        }
+    else:
+        latency_fields = {
+            "server_latency_samples": encode_samples(tracker.samples),
+        }
     return {
         "format": FORMAT_VERSION,
+        **latency_fields,
         "config_name": result.config_name,
         "workload_name": result.workload_name,
         "qps": result.qps,
@@ -50,7 +78,6 @@ def result_to_dict(result: RunResult) -> Dict[str, object]:
         "transitions_per_second": dict(result.transitions_per_second),
         "avg_core_power": result.avg_core_power,
         "package_power": result.package_power,
-        "server_latency_samples": encode_samples(result.server_latency.samples),
         "completed": result.completed,
         "turbo_grant_rate": result.turbo_grant_rate,
         "network_latency": result.network_latency,
@@ -71,14 +98,20 @@ def result_from_dict(data: Dict[str, object]) -> RunResult:
         ConfigurationError: on a missing/foreign format marker or missing
             fields — callers treat this as a cache miss, not a crash.
     """
-    if not isinstance(data, dict) or data.get("format") != FORMAT_VERSION:
+    if not isinstance(data, dict) or data.get("format") not in SUPPORTED_VERSIONS:
         raise ConfigurationError(
             f"unsupported result record format {data.get('format')!r} "
-            f"(expected {FORMAT_VERSION})"
+            f"(expected one of {SUPPORTED_VERSIONS})"
         )
-    tracker = PercentileTracker()
     try:
-        tracker.add_many(decode_samples(data["server_latency_samples"]))
+        sketch_state = data.get("server_latency_sketch")
+        if sketch_state is not None:
+            tracker = PercentileTracker._from_sketch(
+                DDSketch.from_state(sketch_state)
+            )
+        else:
+            tracker = PercentileTracker()
+            tracker.add_many(decode_samples(data["server_latency_samples"]))
         return RunResult(
             config_name=data["config_name"],
             workload_name=data["workload_name"],

@@ -35,6 +35,7 @@ from repro.sweep.runner import (
     PointFailure,
     ProcessExecutor,
     SerialExecutor,
+    ShardedExecutor,
     SweepRunner,
     clear_shared_cache,
     configure_default_runner,
@@ -50,6 +51,7 @@ __all__ = [
     "ScenarioGrid",
     "SweepRunner",
     "SerialExecutor",
+    "ShardedExecutor",
     "ProcessExecutor",
     "FailurePolicy",
     "PointFailure",

@@ -40,14 +40,14 @@ from concurrent.futures import (
     wait,
 )
 from dataclasses import dataclass
-from time import monotonic
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from time import monotonic, sleep
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cluster.balancer import (
     BALANCER_FACTORIES,
     IMPORT_TIME_BALANCER_FACTORIES,
 )
-from repro.errors import ConfigurationError, PointTimeoutError
+from repro.errors import ConfigurationError, PointTimeoutError, SimulationError
 from repro.server.metrics import RunResult
 from repro.sweep.spec import (
     GOVERNOR_FACTORIES,
@@ -251,6 +251,10 @@ class SerialExecutor:
     def __init__(self, policy: Optional[FailurePolicy] = None):
         self.policy = policy or FailurePolicy()
 
+    def _execute(self, spec: ScenarioSpec) -> RunResult:
+        """Run one point (subclass hook: ShardedExecutor overrides)."""
+        return spec.execute()
+
     def map_specs(
         self,
         specs: Sequence[ScenarioSpec],
@@ -264,7 +268,7 @@ class SerialExecutor:
             while True:
                 attempts += 1
                 try:
-                    result = spec.execute()
+                    result = self._execute(spec)
                 except Exception as exc:
                     if attempts <= self.policy.retries:
                         continue
@@ -282,6 +286,157 @@ class SerialExecutor:
                         on_result(i, spec, result)
                     break
         return results
+
+
+class ShardedExecutor(SerialExecutor):
+    """Run points in order, sharding shardable cluster points.
+
+    Each shardable cluster point (stateless balancer, single-leaf
+    requests, no hedging — see
+    :func:`repro.cluster.sharding.is_shardable`) is split into
+    ``shards`` contiguous node ranges executed on a process pool and
+    merged exactly, so its result is bit-identical to the serial run.
+    Single-node points run inline. A *non-shardable cluster* point
+    raises :class:`~repro.errors.ShardingError` with the reason —
+    requesting shards for a stateful-balancer point is a configuration
+    mistake to surface, not silently serialise — and the error then
+    follows the failure policy's mode like any other point failure.
+
+    Like :class:`SerialExecutor`, ``timeout`` is not enforced.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        shards: int,
+        jobs: Optional[int] = None,
+        policy: Optional[FailurePolicy] = None,
+    ):
+        super().__init__(policy)
+        if shards <= 0:
+            raise ConfigurationError(f"shards must be positive, got {shards}")
+        if jobs is not None and jobs <= 0:
+            raise ConfigurationError(f"jobs must be positive, got {jobs}")
+        self.shards = shards
+        self.jobs = jobs
+
+    def _execute(self, spec: ScenarioSpec) -> RunResult:
+        from repro.cluster.sharding import check_shardable, run_sharded
+
+        if spec.is_cluster:
+            # Shardable points fan out; anything else (jsq/power_of_two,
+            # fanout, hedging) raises the documented ShardingError here.
+            check_shardable(spec)
+            return run_sharded(spec, self.shards, jobs=self.jobs)
+        return spec.execute()
+
+
+#: Above roughly this many simulated requests (``qps * horizon *
+#: fanout``), a timed-out point is too expensive to merely abandon: the
+#: pool worker would keep burning CPU for the full simulation. Such
+#: points run on a dedicated, terminate()-able process instead.
+KILL_THRESHOLD_REQUESTS = 2_000_000.0
+
+
+def _point_size(spec: ScenarioSpec) -> float:
+    """Approximate simulated request count — the point's CPU weight."""
+    return spec.qps * spec.horizon * spec.fanout
+
+
+def _killable_point_entry(conn, spec_dict: Dict[str, object]) -> None:
+    """Child entry of a killable point: run the spec, ship the outcome.
+
+    Sends ``("ok", result)`` or ``("err", exception)`` over the pipe;
+    an unpicklable exception degrades to its description. ``send`` may
+    block on a large payload until the parent reads — that is fine, the
+    parent polls the receiving end, and ``terminate()`` still works
+    mid-send.
+    """
+    try:
+        result = _execute_spec_dict(spec_dict)
+    except BaseException as exc:  # ship, don't lose, worker-side failures
+        try:
+            conn.send(("err", exc))
+        except Exception:
+            conn.send(("err", SimulationError(_describe(exc))))
+    else:
+        conn.send(("ok", result))
+    conn.close()
+
+
+class _KillablePoint:
+    """One big point on its own dedicated ``terminate()``-able process.
+
+    ``concurrent.futures`` cannot kill a running worker, so a timed-out
+    pool point is merely *abandoned* — its worker keeps simulating to
+    completion. Cheap points make that a bounded nuisance; a
+    million-request cluster point would squat a core for minutes. Points
+    above :data:`KILL_THRESHOLD_REQUESTS` therefore bypass the pool and
+    run here, where the timeout is enforced with a hard ``terminate()``.
+    """
+
+    __slots__ = ("index", "attempt", "spec", "deadline", "process", "_recv")
+
+    def __init__(
+        self,
+        index: int,
+        attempt: int,
+        spec: ScenarioSpec,
+        deadline: Optional[float],
+    ):
+        self.index = index
+        self.attempt = attempt
+        self.spec = spec
+        self.deadline = deadline
+        self._recv, child = multiprocessing.Pipe(duplex=False)
+        self.process = multiprocessing.Process(
+            target=_killable_point_entry,
+            args=(child, spec.to_dict()),
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+
+    def poll(self) -> Optional[Tuple[str, object]]:
+        """``("ok", result)`` / ``("err", exc)``, or ``None`` if running.
+
+        The pipe is checked before liveness: a child that finished and
+        exited may still have its outcome buffered in the pipe.
+        """
+        if self._recv.poll():
+            try:
+                outcome = self._recv.recv()
+            except (EOFError, OSError):
+                outcome = None
+            self.process.join()
+            self._recv.close()
+            if outcome is not None:
+                return outcome
+            return (
+                "err",
+                SimulationError(
+                    "killable worker closed its pipe without a result "
+                    f"(exit code {self.process.exitcode})"
+                ),
+            )
+        if not self.process.is_alive():
+            self.process.join()
+            self._recv.close()
+            return (
+                "err",
+                SimulationError(
+                    "killable worker died before returning a result "
+                    f"(exit code {self.process.exitcode})"
+                ),
+            )
+        return None
+
+    def kill(self) -> None:
+        """Hard-stop the worker now (idempotent)."""
+        self.process.terminate()
+        self.process.join()
+        self._recv.close()
 
 
 class ProcessExecutor:
@@ -304,9 +459,14 @@ class ProcessExecutor:
     yield a :class:`PointFailure` (``record``). With a timeout set,
     submission is capped to non-occupied workers, so a point's budget
     starts when a worker picks it up — never while queued. A timed-out
-    point's worker cannot be killed portably; it is abandoned (its
-    eventual result is ignored), which occupies one pool slot and delays
-    final pool shutdown but cannot fail other points.
+    *small* point's pool worker cannot be killed portably; it is
+    abandoned (its eventual result is ignored), which occupies one pool
+    slot and delays final pool shutdown but cannot fail other points.
+    Points at or above ``kill_threshold`` simulated requests
+    (``qps * horizon * fanout``) instead run on a dedicated
+    :class:`_KillablePoint` process whose timeout is enforced with a
+    hard ``terminate()``, so a runaway million-request point costs at
+    most its budget of CPU.
     """
 
     name = "process"
@@ -316,6 +476,7 @@ class ProcessExecutor:
         jobs: int = 4,
         policy: Optional[FailurePolicy] = None,
         chunk_factor: int = 4,
+        kill_threshold: Optional[float] = KILL_THRESHOLD_REQUESTS,
     ):
         if jobs <= 0:
             raise ConfigurationError(f"jobs must be positive, got {jobs}")
@@ -323,9 +484,15 @@ class ProcessExecutor:
             raise ConfigurationError(
                 f"chunk_factor must be positive, got {chunk_factor}"
             )
+        if kill_threshold is not None and kill_threshold <= 0:
+            raise ConfigurationError(
+                f"kill_threshold must be positive, got {kill_threshold}"
+            )
         self.jobs = jobs
         self.policy = policy or FailurePolicy()
         self.chunk_factor = chunk_factor
+        #: ``None`` disables the dedicated-process path entirely.
+        self.kill_threshold = kill_threshold
 
     def map_specs(
         self,
@@ -366,6 +533,10 @@ class ProcessExecutor:
         # when a timeout is set, which makes deadline-at-submission
         # equal deadline-at-start up to scheduler latency.)
         abandoned: set = set()
+        # Big points on dedicated terminate()-able processes (see
+        # _KillablePoint); they count against the submission window like
+        # pool workers so total concurrency stays bounded at ``jobs``.
+        killable: List[_KillablePoint] = []
         #: Poll cadence while waiting on an occupied worker to free up.
         poll_interval = 0.05
 
@@ -380,9 +551,15 @@ class ProcessExecutor:
                 # Stop feeding the pool and cancel everything not yet
                 # running; still-running futures are drained below so
                 # their results reach on_result (and the caches).
+                # Killable points are simply killed: unlike pool workers
+                # they can be, and an aborting sweep has no use for
+                # their eventual results.
                 queue.clear()
                 for future in list(active):
                     future.cancel()
+                for kp in killable:
+                    kp.kill()
+                killable.clear()
                 return
             failure = PointFailure(specs[i], _describe(exc), attempt)
             if policy.mode == RECORD:
@@ -396,7 +573,7 @@ class ProcessExecutor:
                 # startup + package import can dwarf a short budget, and
                 # that cost must not be billed to the first batch.
                 wait([pool.submit(_worker_ready) for _ in range(workers)])
-            while queue or active:
+            while queue or active or killable:
                 abandoned = {f for f in abandoned if not f.done()}
                 if policy.timeout is not None:
                     # Submit only onto free workers so a point's clock
@@ -404,16 +581,27 @@ class ProcessExecutor:
                     window = max(0, workers - len(abandoned))
                 else:
                     window = workers * self.chunk_factor
-                while queue and len(active) < window:
+                while queue and len(active) + len(killable) < window:
                     i, attempt = queue.popleft()
-                    future = pool.submit(_execute_spec_dict, specs[i].to_dict())
                     deadline = (
                         monotonic() + policy.timeout
                         if policy.timeout is not None
                         else None
                     )
+                    if (
+                        policy.timeout is not None
+                        and self.kill_threshold is not None
+                        and _point_size(specs[i]) >= self.kill_threshold
+                    ):
+                        # Too big to merely abandon on timeout: dedicated
+                        # process, enforced with terminate().
+                        killable.append(
+                            _KillablePoint(i, attempt, specs[i], deadline)
+                        )
+                        continue
+                    future = pool.submit(_execute_spec_dict, specs[i].to_dict())
                     active[future] = (i, attempt, deadline)
-                if not active:
+                if not active and not killable:
                     if queue:
                         # Every worker is occupied by an abandoned point;
                         # wait for one to free up, then resubmit.
@@ -422,11 +610,29 @@ class ProcessExecutor:
                     break
                 wait_timeout = None
                 if policy.timeout is not None:
-                    nearest = min(deadline for _, _, deadline in active.values())
+                    nearest = min(
+                        [deadline for _, _, deadline in active.values()]
+                        + [kp.deadline for kp in killable]
+                    )
                     wait_timeout = max(0.0, nearest - monotonic())
-                done, _ = wait(
-                    set(active), timeout=wait_timeout, return_when=FIRST_COMPLETED
-                )
+                if killable:
+                    # Killable completions can't wake wait(): poll them.
+                    wait_timeout = (
+                        poll_interval
+                        if wait_timeout is None
+                        else min(poll_interval, wait_timeout)
+                    )
+                if active:
+                    done, _ = wait(
+                        set(active),
+                        timeout=wait_timeout,
+                        return_when=FIRST_COMPLETED,
+                    )
+                else:
+                    # Only killable points remain; wait() on an empty set
+                    # returns immediately, which would busy-spin.
+                    sleep(poll_interval if wait_timeout is None else wait_timeout)
+                    done = set()
                 for future in done:
                     i, attempt, _ = active.pop(future)
                     try:
@@ -439,6 +645,20 @@ class ProcessExecutor:
                         results[i] = result
                         if on_result is not None:
                             on_result(i, specs[i], result)
+                for kp in list(killable):
+                    if kp not in killable:
+                        continue  # killed by a raise-mode abort above
+                    outcome = kp.poll()
+                    if outcome is None:
+                        continue
+                    killable.remove(kp)
+                    kind, payload = outcome
+                    if kind == "ok":
+                        results[kp.index] = payload
+                        if on_result is not None:
+                            on_result(kp.index, specs[kp.index], payload)
+                    else:
+                        settle_failure(kp.index, kp.attempt, payload)
                 if policy.timeout is not None:
                     now = monotonic()
                     overdue = [
@@ -478,6 +698,40 @@ class ProcessExecutor:
                             PointTimeoutError(
                                 f"point exceeded {policy.timeout}s "
                                 f"(spec {specs[i].cache_key})"
+                            ),
+                        )
+                    for kp in list(killable):
+                        if kp not in killable or kp.deadline > now:
+                            continue
+                        killable.remove(kp)
+                        outcome = kp.poll()
+                        if outcome is not None:
+                            # Finished under the wire since the harvest
+                            # pass: keep the real work.
+                            kind, payload = outcome
+                            if kind == "ok":
+                                results[kp.index] = payload
+                                if on_result is not None:
+                                    on_result(kp.index, specs[kp.index], payload)
+                            else:
+                                settle_failure(kp.index, kp.attempt, payload)
+                            continue
+                        kp.kill()
+                        if log is not None:
+                            # Name the cache key so the killed point is
+                            # identifiable in the store.
+                            log(
+                                "sweep: killed timed-out worker running "
+                                f"spec {kp.spec.cache_key} "
+                                f"(attempt {kp.attempt}, "
+                                f"budget {policy.timeout}s)"
+                            )
+                        settle_failure(
+                            kp.index,
+                            kp.attempt,
+                            PointTimeoutError(
+                                f"point exceeded {policy.timeout}s "
+                                f"(spec {kp.spec.cache_key}; worker killed)"
                             ),
                         )
         if first_error[0] is not None:

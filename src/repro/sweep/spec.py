@@ -125,6 +125,11 @@ class ScenarioSpec:
         hedge_ms: optional hedged-request delay in milliseconds — leaves
             still outstanding after this long are duplicated onto another
             node and the first answer wins.
+        sketch_error: ``None`` (default) keeps exact latency percentiles;
+            a float in (0, 1) switches latency tracking to the mergeable
+            bounded-memory DDSketch backend with that relative-error
+            guarantee — the fleet-scale knob (see
+            :mod:`repro.simkit.sketch`).
     """
 
     workload: str
@@ -140,6 +145,7 @@ class ScenarioSpec:
     balancer: str = "random"
     fanout: int = 1
     hedge_ms: Optional[float] = None
+    sketch_error: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.workload not in WORKLOAD_FACTORIES:
@@ -176,6 +182,10 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"hedge_ms must be positive, got {self.hedge_ms}"
             )
+        if self.sketch_error is not None and not 0 < self.sketch_error < 1:
+            raise ConfigurationError(
+                f"sketch_error must be in (0, 1), got {self.sketch_error}"
+            )
         # Canonicalise numeric types so 100000 and 100000.0 produce the
         # same frozen spec (and therefore the same cache key).
         object.__setattr__(self, "qps", float(self.qps))
@@ -186,6 +196,8 @@ class ScenarioSpec:
         object.__setattr__(self, "fanout", int(self.fanout))
         if self.hedge_ms is not None:
             object.__setattr__(self, "hedge_ms", float(self.hedge_ms))
+        if self.sketch_error is not None:
+            object.__setattr__(self, "sketch_error", float(self.sketch_error))
         if self.nodes == 1:
             # With one node every policy routes everything to node 0, so
             # the balancer cannot affect results: canonicalise it (after
@@ -198,12 +210,21 @@ class ScenarioSpec:
     # -- identity ----------------------------------------------------------
     @property
     def cache_key(self) -> CacheKey:
-        """Canonical, hashable identity: equal keys mean equal results."""
-        return (
+        """Canonical, hashable identity: equal keys mean equal results.
+
+        ``sketch_error`` joins the key only when set, so every exact-mode
+        key (the universal default before the sketch backend existed)
+        keeps its original shape — stored results and golden labels stay
+        addressable.
+        """
+        key = (
             self.workload, self.config, self.qps, self.cores, self.horizon,
             self.seed, self.governor, self.turbo, self.snoops,
             self.nodes, self.balancer, self.fanout, self.hedge_ms,
         )
+        if self.sketch_error is not None:
+            key = key + (self.sketch_error,)
+        return key
 
     @property
     def is_cluster(self) -> bool:
@@ -214,6 +235,24 @@ class ScenarioSpec:
         irrelevant (every policy routes everything to node 0).
         """
         return self.nodes > 1 or self.fanout > 1 or self.hedge_ms is not None
+
+    @property
+    def uses_partitioned_arrivals(self) -> bool:
+        """Whether this cluster point runs as independent per-node sims.
+
+        True for multi-node points with single-leaf requests, no hedging
+        and a stateless balancer (``random``/``round_robin``): their
+        nodes never interact, so :meth:`execute` partitions the arrival
+        stream exactly (Poisson/Erlang thinning) and merges per-node
+        results instead of paying the shared-simulator O(nodes)
+        per-arrival balancer scan — and ``--shards`` can spread the same
+        node ranges over a process pool bit-identically (see
+        :mod:`repro.cluster.sharding`). Stateful balancers and coupled
+        requests keep the shared-simulator :class:`Cluster` path.
+        """
+        from repro.cluster.sharding import is_shardable
+
+        return is_shardable(self)
 
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
@@ -279,6 +318,11 @@ class ScenarioSpec:
     def execute(self) -> RunResult:
         """Run this scenario to completion (uncached; see SweepRunner)."""
         if self.is_cluster:
+            if self.uses_partitioned_arrivals:
+                from repro.cluster.sharding import execute_partitioned
+
+                return execute_partitioned(self)
+
             from repro.cluster import Cluster
 
             cluster = Cluster(
@@ -294,6 +338,7 @@ class ScenarioSpec:
                 hedge_s=None if self.hedge_ms is None else self.hedge_ms / 1e3,
                 snoops_enabled=self.snoops,
                 governor_factory=self.governor_factory(),
+                sketch_error=self.sketch_error,
             )
             return cluster.run()
 
@@ -308,6 +353,7 @@ class ScenarioSpec:
             seed=self.seed,
             snoops_enabled=self.snoops,
             governor_factory=self.governor_factory(),
+            sketch_error=self.sketch_error,
         )
         return node.run()
 
@@ -339,6 +385,7 @@ class ScenarioGrid:
         balancers: Sequence[str] = ("random",),
         fanouts: Sequence[int] = (1,),
         hedge_ms: Optional[float] = None,
+        sketch_error: Optional[float] = None,
     ) -> "ScenarioGrid":
         """Cartesian product over the given axes.
 
@@ -357,6 +404,7 @@ class ScenarioGrid:
                 workload=w, config=c, qps=q, cores=n, horizon=h, seed=s,
                 governor=g, turbo=turbo, snoops=snoops,
                 nodes=k, balancer=b, fanout=r, hedge_ms=hedge_ms,
+                sketch_error=sketch_error,
             )
             for w in workloads
             for c in configs

@@ -11,7 +11,7 @@
 """
 
 from repro.workloads.base import ServiceTimeModel, Workload
-from repro.workloads.loadgen import LoadGenerator, OpenLoopPoisson
+from repro.workloads.loadgen import LoadGenerator, OpenLoopPoisson, RoundRobinThinned
 from repro.workloads.memcached import memcached_workload, MEMCACHED_RATES_KQPS
 from repro.workloads.kafka import kafka_workload, KAFKA_RATES
 from repro.workloads.mysql import mysql_workload, MYSQL_RATES
@@ -27,6 +27,7 @@ __all__ = [
     "Workload",
     "LoadGenerator",
     "OpenLoopPoisson",
+    "RoundRobinThinned",
     "memcached_workload",
     "MEMCACHED_RATES_KQPS",
     "kafka_workload",

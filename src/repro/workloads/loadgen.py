@@ -139,6 +139,60 @@ class OpenLoopPoisson(LoadGenerator):
         return self._qps * horizon
 
 
+class RoundRobinThinned(LoadGenerator):
+    """Node ``index``'s share of a round-robin-split Poisson stream.
+
+    A round-robin front end hands arrival ``j`` of a rate-``total_qps``
+    Poisson process to node ``j mod nodes``, so one node sees every
+    ``nodes``-th arrival: its interarrival times are Erlang(``nodes``) —
+    the sum of ``nodes`` exponentials — sampled directly via
+    ``gammavariate(nodes, 1/total_qps)``. Node ``index``'s first arrival
+    is global arrival ``index + 1``, i.e. Gamma(``index + 1``), which
+    preserves the phase stagger of the cursor.
+
+    Each node's *marginal* arrival process is exact. What the
+    split-stream model gives up is the cross-node coupling of the shared
+    cursor (round-robin interleaves nodes deterministically; independent
+    Erlang streams only do so in distribution) — the documented
+    approximation behind sharded round-robin execution
+    (:mod:`repro.cluster.sharding`). Random balancing needs no such
+    class: uniform thinning of a Poisson process yields independent
+    Poisson streams exactly.
+    """
+
+    def __init__(self, total_qps: float, nodes: int, index: int, seed: int = 1):
+        if total_qps <= 0:
+            raise WorkloadError(f"total_qps must be positive, got {total_qps}")
+        if nodes <= 0:
+            raise WorkloadError(f"nodes must be positive, got {nodes}")
+        if not 0 <= index < nodes:
+            raise WorkloadError(
+                f"node index must be in [0, {nodes}), got {index}"
+            )
+        self._total_qps = total_qps
+        self._nodes = nodes
+        self._index = index
+        self._scale = 1.0 / total_qps
+        import random as _random
+
+        self._gamma = _random.Random(seed).gammavariate
+
+    @property
+    def rate_qps(self) -> float:
+        return self._total_qps / self._nodes
+
+    def arrivals(self, horizon: float) -> Iterator[float]:
+        if horizon <= 0:
+            raise WorkloadError(f"horizon must be positive, got {horizon}")
+        gamma = self._gamma
+        scale = self._scale
+        nodes = self._nodes
+        t = gamma(self._index + 1, scale)
+        while t < horizon:
+            yield t
+            t += gamma(nodes, scale)
+
+
 class BurstyLoadGenerator(LoadGenerator):
     """ON/OFF modulated Poisson process (microservice-style burstiness).
 

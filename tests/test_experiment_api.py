@@ -32,7 +32,7 @@ EXPECTED_IDS = [
     "latency_breakdown", "validation", "snoop", "fig8", "fig9", "fig10",
     "fig11", "fig12", "fig13", "table5", "ablation", "governor_study",
     "proportionality", "sensitivity",
-    "fanout_tail", "balancer_study", "cluster_energy",
+    "fanout_tail", "balancer_study", "cluster_energy", "fleet_scale",
 ]
 
 

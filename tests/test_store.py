@@ -71,6 +71,93 @@ class TestSerialize:
             result_from_dict(data)
 
 
+class TestSketchSerialization:
+    """Codec v3: sketch-backed latency round-trips its bucket state."""
+
+    @pytest.fixture(scope="class")
+    def sketch_results(self):
+        return [
+            _spec(seed=seed, sketch_error=0.01).execute() for seed in (7, 8)
+        ]
+
+    def test_v3_record_carries_sketch_not_samples(self, sketch_results):
+        data = result_to_dict(sketch_results[0])
+        assert data["format"] == 3
+        assert "server_latency_sketch" in data
+        assert "server_latency_samples" not in data
+
+    def test_sketch_round_trip_is_exact(self, sketch_results):
+        original = sketch_results[0]
+        rebuilt = result_from_dict(
+            json.loads(json.dumps(result_to_dict(original)))
+        )
+        assert rebuilt.server_latency.sketch_error == 0.01
+        assert rebuilt.server_latency.sketch.to_state() == (
+            original.server_latency.sketch.to_state()
+        )
+        for p in (50, 99, 99.9):
+            assert rebuilt.server_latency.percentile(p) == (
+                original.server_latency.percentile(p)
+            )
+        assert rebuilt.completed == original.completed
+
+    def test_merge_after_decode_equals_merge_before_encode(
+        self, sketch_results
+    ):
+        from repro.simkit.stats import PercentileTracker
+
+        a, b = sketch_results
+        before = PercentileTracker.merge_all(
+            [a.server_latency, b.server_latency]
+        )
+        decoded = [
+            result_from_dict(result_to_dict(r)).server_latency
+            for r in (a, b)
+        ]
+        after = PercentileTracker.merge_all(decoded)
+        assert after.sketch.to_state() == before.sketch.to_state()
+
+    def test_v2_row_with_raw_samples_still_decodes(self, result):
+        # A pre-sketch row: format marker 2, exact sample blob. Built
+        # directly (the writer no longer emits v2) to pin back-compat.
+        data = result_to_dict(result)
+        assert "server_latency_samples" in data
+        data["format"] = 2
+        rebuilt = result_from_dict(data)
+        assert rebuilt.server_latency.sketch_error is None
+        assert rebuilt.server_latency.p99 == result.server_latency.p99
+        assert rebuilt.completed == result.completed
+
+    def test_v1_format_rejected(self, result):
+        data = result_to_dict(result)
+        data["format"] = 1
+        with pytest.raises(ConfigurationError):
+            result_from_dict(data)
+
+    def test_corrupt_sketch_state_is_a_miss(self, sketch_results):
+        data = result_to_dict(sketch_results[0])
+        data["server_latency_sketch"] = {"relative_error": 0.01}
+        with pytest.raises(ConfigurationError):
+            result_from_dict(data)
+
+    def test_store_round_trip_sketch_result(self, tmp_path, sketch_results):
+        original = sketch_results[0]
+        spec = _spec(sketch_error=0.01)
+        store = ResultStore(tmp_path, salt="s1")
+        store.put(spec.cache_key, original, spec=spec)
+        loaded = store.get(spec.cache_key)
+        assert loaded is not None
+        assert loaded.server_latency.sketch.to_state() == (
+            original.server_latency.sketch.to_state()
+        )
+
+    def test_sketch_and_exact_specs_have_distinct_cache_keys(self):
+        exact, sketched = _spec(), _spec(sketch_error=0.01)
+        assert exact.cache_key != sketched.cache_key
+        # Exact mode keeps the pre-sketch key shape (store compatible).
+        assert len(exact.cache_key) + 1 == len(sketched.cache_key)
+
+
 class TestResultStore:
     def test_put_get_round_trip(self, tmp_path, result):
         store = ResultStore(tmp_path, salt="s1")

@@ -473,6 +473,131 @@ class TestExecutorHygiene:
             del WORKLOAD_FACTORIES["sleepy_logged"]
 
 
+class TestKillablePool:
+    """Big points run on dedicated terminate()-able processes, so a
+    FailurePolicy timeout bounds worker CPU — not just caller latency."""
+
+    def test_invalid_kill_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessExecutor(jobs=2, kill_threshold=0)
+        with pytest.raises(ConfigurationError):
+            ProcessExecutor(jobs=2, kill_threshold=-1.0)
+
+    def test_default_threshold_targets_million_request_points(self):
+        from repro.sweep.runner import KILL_THRESHOLD_REQUESTS, _point_size
+
+        small = _spec()  # 20 kqps * 0.02 s = 400 simulated requests
+        assert _point_size(small) < KILL_THRESHOLD_REQUESTS
+        big = _spec(qps=25_000_000, horizon=0.4)
+        assert _point_size(big) >= KILL_THRESHOLD_REQUESTS
+
+    @fork_only
+    def test_timed_out_big_point_is_killed_and_logged(self):
+        # A hog above the (test-lowered) threshold with a tight budget:
+        # the sweep must settle quickly — the worker is terminated, not
+        # abandoned to finish its sleep — and the kill must be logged
+        # with the spec's cache key.
+        from time import monotonic
+
+        from repro.sweep.spec import WORKLOAD_FACTORIES, register_workload
+        from repro.workloads import memcached_workload
+
+        def big_hog():
+            import time
+
+            time.sleep(30.0)
+            return memcached_workload()
+
+        register_workload("big_hog", big_hog)
+        messages = []
+        try:
+            executor = ProcessExecutor(
+                jobs=2,
+                policy=FailurePolicy(mode="record", timeout=0.3),
+                kill_threshold=1.0,
+            )
+            runner = SweepRunner(
+                executor=executor, cache={}, log=messages.append
+            )
+            start = monotonic()
+            results = runner.run_many(
+                [_spec(workload="big_hog"), _spec(seed=25)]
+            )
+            elapsed = monotonic() - start
+            assert isinstance(results[0], PointFailure)
+            assert "worker killed" in results[0].error
+            assert results[1].completed > 0
+            # Well under the hog's 30 s sleep: the kill actually landed.
+            assert elapsed < 10.0
+            spec_key = str(_spec(workload="big_hog").cache_key)
+            assert any(
+                "killed timed-out worker" in m and spec_key in m
+                for m in messages
+            )
+        finally:
+            del WORKLOAD_FACTORIES["big_hog"]
+
+    def test_killable_point_success_path_matches_serial(self):
+        # With a generous budget the dedicated process finishes and its
+        # result is harvested like any pool result.
+        spec = _spec(seed=26)
+        executor = ProcessExecutor(
+            jobs=2,
+            policy=FailurePolicy(mode="record", timeout=60.0),
+            kill_threshold=1.0,  # every point goes the killable route
+        )
+        results = SweepRunner(executor=executor, cache={}).run_many(
+            [spec, _spec(seed=27)]
+        )
+        serial = SweepRunner(cache={}).run(spec)
+        assert results[0].completed == serial.completed
+        assert results[0].avg_core_power == serial.avg_core_power
+        assert results[0].package_power == serial.package_power
+
+    @fork_only
+    def test_kill_threshold_none_falls_back_to_abandonment(self):
+        from repro.sweep.spec import WORKLOAD_FACTORIES, register_workload
+        from repro.workloads import memcached_workload
+
+        def sleepy_unkillable():
+            import time
+
+            time.sleep(1.2)
+            return memcached_workload()
+
+        register_workload("sleepy_unkillable", sleepy_unkillable)
+        messages = []
+        try:
+            executor = ProcessExecutor(
+                jobs=2,
+                policy=FailurePolicy(mode="record", timeout=0.2),
+                kill_threshold=None,
+            )
+            runner = SweepRunner(
+                executor=executor, cache={}, log=messages.append
+            )
+            results = runner.run_many([_spec(workload="sleepy_unkillable")])
+            assert isinstance(results[0], PointFailure)
+            assert any("abandoned" in m for m in messages)
+            assert not any("killed" in m for m in messages)
+        finally:
+            del WORKLOAD_FACTORIES["sleepy_unkillable"]
+
+    @fork_only
+    def test_worker_crash_on_killable_path_is_a_point_failure(self, failing_workload):
+        executor = ProcessExecutor(
+            jobs=2,
+            policy=FailurePolicy(mode="record", timeout=60.0),
+            kill_threshold=1.0,
+        )
+        results = SweepRunner(executor=executor, cache={}).run_many(
+            [_spec(workload=failing_workload), _spec(seed=28)]
+        )
+        assert isinstance(results[0], PointFailure)
+        assert "kaboom" in results[0].error
+        assert results[1].completed > 0
+
+
 class TestWorkerRegistryCheck:
     def test_dynamic_names_detected(self, failing_workload):
         from repro.sweep.runner import _check_worker_registries, find_unregistered
