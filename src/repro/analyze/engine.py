@@ -1,0 +1,171 @@
+"""The analysis driver: discover files, run rules, apply suppressions.
+
+Per-file work (parse + every registered rule) is embarrassingly
+parallel, so with ``jobs > 1`` it fans out over a process pool; results
+merge deterministically (findings sort by location) regardless of which
+worker analysed which file. The project-level SPEC checks — which relate
+*pairs* of files — run once in the parent, after which suppression
+comments from every analysed file are matched centrally so one mechanism
+covers per-file and cross-module findings alike.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analyze.findings import Finding
+from repro.analyze.rules import FileContext, all_rules
+
+# Rule modules register themselves on import. The imports live HERE, not
+# in __init__, because process-pool workers import only this module to
+# unpickle analyze_file — without them a worker would run zero rules and
+# happily report a clean file.
+import repro.analyze.det  # noqa: F401  (registration side effect)
+import repro.analyze.fastpath  # noqa: F401  (registration side effect)
+from repro.analyze.speccheck import MANIFEST_PATH, run_project_checks
+from repro.analyze.suppress import (
+    Suppression,
+    apply_suppressions,
+    parse_suppressions,
+)
+from repro.errors import ConfigurationError
+
+#: Below this many files a process pool costs more than it saves.
+_PARALLEL_THRESHOLD = 16
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced.
+
+    Attributes:
+        findings: active findings (fail the gate), sorted by location.
+        suppressed: findings covered by a reasoned allow comment.
+        files_analyzed: number of Python files parsed.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_analyzed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def discover_files(paths: Sequence[str]) -> List[str]:
+    """Python files under ``paths`` (files pass through), sorted.
+
+    Raises:
+        ConfigurationError: when a path does not exist.
+    """
+    files: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if not d.startswith(".") and d != "__pycache__"
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(dirpath, name))
+        else:
+            raise ConfigurationError(f"no such file or directory: {path}")
+    return sorted(dict.fromkeys(files))
+
+
+def _display_path(path: str) -> str:
+    """Repo-relative forward-slash path when possible (stable baselines)."""
+    rel = os.path.relpath(path)
+    chosen = path if rel.startswith("..") else rel
+    return chosen.replace(os.sep, "/")
+
+
+def analyze_file(path: str) -> Tuple[List[Finding], List[Suppression]]:
+    """Parse one file and run every per-file rule over it.
+
+    Unparseable files yield a single ANA004 finding — shrinking analysis
+    coverage must fail the gate, not pass it quietly.
+    """
+    display = _display_path(path)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+        tree = ast.parse(source, filename=path)
+    except (OSError, SyntaxError, ValueError) as exc:
+        line = getattr(exc, "lineno", None) or 1
+        return (
+            [
+                Finding(
+                    path=display, line=line, col=0, rule_id="ANA004",
+                    message=f"cannot analyze file: {exc}",
+                )
+            ],
+            [],
+        )
+    ctx = FileContext(display, source, tree)
+    findings: List[Finding] = []
+    for rule in all_rules():
+        findings.extend(rule.check(ctx))
+    suppressions, hygiene = parse_suppressions(display, source)
+    findings.extend(hygiene)
+    # Rules walking one AST from several angles may report a node twice;
+    # findings are value-objects, so exact duplicates collapse here.
+    return sorted(set(findings)), suppressions
+
+
+def run_lint(
+    paths: Sequence[str],
+    jobs: Optional[int] = None,
+    project_checks: bool = True,
+    manifest_path: str = MANIFEST_PATH,
+) -> LintResult:
+    """Analyze ``paths`` and return matched, sorted findings.
+
+    Args:
+        paths: files and/or directories to analyze.
+        jobs: worker processes; ``None`` picks serial for small file
+            sets and ``os.cpu_count()`` (capped at 8) above
+            ``_PARALLEL_THRESHOLD`` files.
+        project_checks: run the cross-module SPEC series when the
+            analysed set contains the relevant modules.
+        manifest_path: codec-shape manifest for SPEC003 (overridable so
+            fixture trees can carry their own).
+
+    Raises:
+        ConfigurationError: for nonexistent paths or invalid ``jobs``.
+    """
+    if jobs is not None and jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    files = discover_files(paths)
+    if jobs is None:
+        jobs = 1
+        if len(files) > _PARALLEL_THRESHOLD:
+            jobs = min(os.cpu_count() or 1, 8)
+
+    findings: List[Finding] = []
+    by_path: Dict[str, List[Suppression]] = {}
+    if jobs > 1 and len(files) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            per_file = list(pool.map(analyze_file, files, chunksize=8))
+    else:
+        per_file = [analyze_file(path) for path in files]
+    for path, (file_findings, suppressions) in zip(files, per_file):
+        findings.extend(file_findings)
+        if suppressions:
+            by_path[_display_path(path)] = suppressions
+
+    if project_checks:
+        findings.extend(run_project_checks(files, manifest_path))
+
+    active, suppressed = apply_suppressions(findings, by_path)
+    return LintResult(
+        findings=active, suppressed=suppressed, files_analyzed=len(files)
+    )

@@ -1,0 +1,139 @@
+"""FAST-series rules: the allocation-free event path's contract.
+
+:meth:`~repro.simkit.engine.Simulator.schedule_fast` /
+``schedule_at_fast`` push a bare callback into the heap — no
+:class:`~repro.simkit.engine.Event` object, no cancellation, no label.
+That contract is what makes the hot path allocation-free while staying
+bit-identical to the cancellable path (both draw from one sequence
+counter). These rules catch callers that quietly assume an ``Event``
+came back, and hot-path modules that reintroduce per-event allocation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analyze.findings import Finding
+from repro.analyze.rules import FileContext, Rule, rule
+
+_FAST_METHODS = frozenset({"schedule_fast", "schedule_at_fast"})
+
+
+def _is_fast_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _FAST_METHODS
+    )
+
+
+def _fast_name(node: ast.Call) -> str:
+    return node.func.attr  # type: ignore[attr-defined]
+
+
+@rule
+class FastPathContract(Rule):
+    """``schedule_fast``/``schedule_at_fast`` return ``None`` by design:
+    there is no ``Event`` to cancel and no label slot. Code that assigns
+    the result, calls ``.cancel()`` on it, or passes a label argument is
+    written against the cancellable API and will fail at runtime (or
+    worse, hold ``None`` where it believes it holds a cancellable
+    handle). Events that need cancellation or labels must use
+    ``schedule``/``schedule_at``."""
+
+    id = "FAST001"
+    title = "schedule_fast caller assumes an Event handle (cancel/label/assign)"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)) and _is_fast_call(
+                getattr(node, "value", None)
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f"{_fast_name(node.value)}() returns None (no Event "
+                    "handle); use schedule/schedule_at if the caller needs "
+                    "one",
+                )
+            elif _is_fast_call(node):
+                if len(node.args) > 2:
+                    yield self.finding(
+                        ctx, node,
+                        f"{_fast_name(node)}() takes no label argument; "
+                        "labelled events must use the Event path",
+                    )
+                for keyword in node.keywords:
+                    if keyword.arg == "label":
+                        yield self.finding(
+                            ctx, node,
+                            f"{_fast_name(node)}() takes no label argument; "
+                            "labelled events must use the Event path",
+                        )
+                parent = ctx.parent_of(node)
+                if isinstance(parent, ast.Attribute) and parent.attr == "cancel":
+                    yield self.finding(
+                        ctx, node,
+                        f"{_fast_name(node)}() events cannot be cancelled; "
+                        "use schedule/schedule_at for cancellable events",
+                    )
+                elif isinstance(parent, ast.Await):
+                    yield self.finding(
+                        ctx, node,
+                        f"{_fast_name(node)}() returns None, not an awaitable",
+                    )
+
+
+@rule
+class HotPathEventAllocation(Rule):
+    """The PR-5 speedup came from keeping the per-event hot path free of
+    ``Event`` allocations (tuple + heap push only). Constructing
+    :class:`~repro.simkit.engine.Event` inside a hot-path module
+    (:data:`~repro.analyze.rules.HOT_PATH_MODULES`) reintroduces that
+    churn for every service completion at fleet scale. Schedule through
+    ``schedule_fast``, or through ``schedule()`` — which allocates the
+    Event *inside the engine* where the cancellable path owns it."""
+
+    id = "FAST002"
+    title = "Event allocated inside a hot-path module"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.on_hot_path:
+            return
+        # Name 'Event' only counts when imported from the engine —
+        # threading.Event etc. are someone else's business.
+        engine_event_names = {
+            local for _module, local in _engine_from_imports(ctx)
+        }
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in engine_event_names
+            ):
+                yield self.finding(
+                    ctx, node,
+                    "Event allocation on a hot path; use schedule_fast (no "
+                    "handle) or let schedule() allocate inside the engine",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "Event"
+            ):
+                yield self.finding(
+                    ctx, node,
+                    "Event allocation on a hot path; use schedule_fast (no "
+                    "handle) or let schedule() allocate inside the engine",
+                )
+
+
+def _engine_from_imports(ctx: FileContext):
+    """(module, local-name) pairs binding the engine's Event class."""
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom) and node.module and (
+            node.module.endswith("engine") or node.module.endswith("simkit")
+        ):
+            for alias in node.names:
+                if alias.name == "Event":
+                    yield node.module, (alias.asname or alias.name)

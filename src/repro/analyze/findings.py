@@ -1,0 +1,75 @@
+"""Finding records: what a rule reports, with a stable JSON shape.
+
+A :class:`Finding` is one diagnostic anchored to a ``file:line:col``.
+Findings order by location so reports are deterministic regardless of
+which worker analysed which file, and they round-trip through plain
+dicts (:meth:`Finding.to_dict` / :meth:`Finding.from_dict`) so the JSON
+report and the committed baseline share one schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigurationError
+
+#: Schema version of the JSON report and the committed baseline.
+REPORT_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: a rule violation anchored to a source location.
+
+    Attributes:
+        path: file the finding is in (repo-relative, forward slashes).
+        line: 1-based line number.
+        col: 0-based column offset.
+        rule_id: the rule that fired (e.g. ``DET001``).
+        message: one-line human diagnostic.
+        suppressed: True when a ``# repro: allow[...]`` comment covers
+            this finding; suppressed findings never fail the gate.
+        suppress_reason: the written reason from the allow comment.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    suppressed: bool = field(default=False, compare=False)
+    suppress_reason: Optional[str] = field(default=None, compare=False)
+
+    @property
+    def anchor(self) -> str:
+        """The clickable ``path:line:col`` prefix of the text report."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    @property
+    def identity(self) -> tuple:
+        """What the baseline matches on (location + rule + message)."""
+        return (self.path, self.line, self.rule_id, self.message)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict; inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output.
+
+        Raises:
+            ConfigurationError: on missing or unknown keys — a corrupt
+                baseline must fail loudly, not silently pass the gate.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown Finding fields {sorted(unknown)}; known: {sorted(known)}"
+            )
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise ConfigurationError(f"incomplete Finding dict: {exc}") from exc

@@ -1,0 +1,431 @@
+"""SPEC-series: cross-module consistency of spec, cache key and codec.
+
+These checks walk dataclass definitions and serializer function ASTs —
+no imports, no execution — and verify the three-way contract the result
+store depends on:
+
+- **SPEC001** — every ``ScenarioSpec`` field is read by the canonical
+  ``cache_key`` property. A field missing from the key means two specs
+  that differ in that field share a store row and memo slot: the store
+  would serve one point's physics as the other's.
+- **SPEC002** — every ``RunResult`` field appears in *both* directions
+  of the store codec (``result_to_dict`` emits it, ``result_from_dict``
+  rebuilds it). A field missing from either side silently zeroes an
+  observable on every cache hit.
+- **SPEC003** — the codec's *shape* (emitted keys + decoded kwargs +
+  supported versions) is fingerprinted against the committed manifest
+  (``codec_manifest.json``). Changing the shape without bumping
+  ``FORMAT_VERSION`` would let old readers misparse new rows; the rule
+  forces the version bump and the manifest refresh
+  (``repro lint --update-codec-manifest``) through review together.
+
+Fields whose serialized spelling legitimately differs from the dataclass
+field are declared in :data:`FIELD_ALIASES` — the latency tracker, for
+example, is stored as exact samples *or* sketch state.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analyze.findings import Finding
+from repro.analyze.rules import declare_rule
+
+SPEC001 = declare_rule(
+    "SPEC001",
+    "ScenarioSpec field missing from cache_key",
+    "A spec field the cache key ignores means two different simulation "
+    "points share one store row and memo slot — the store then serves "
+    "one point's results as the other's, silently.",
+)
+SPEC002 = declare_rule(
+    "SPEC002",
+    "RunResult field missing from the store codec",
+    "A result field the codec drops (on encode or decode) silently "
+    "zeroes that observable on every cache hit, breaking the "
+    "'store hit == fresh simulation' contract the experiments rely on.",
+)
+SPEC003 = declare_rule(
+    "SPEC003",
+    "codec shape changed without a FORMAT_VERSION bump",
+    "Old rows decoded by a new reader (or vice versa) must be a clean "
+    "version miss, never a misparse; any change to the codec's emitted "
+    "keys or decoded kwargs must bump FORMAT_VERSION and refresh the "
+    "committed manifest (repro lint --update-codec-manifest).",
+)
+
+#: Dataclass fields whose codec spelling differs from the field name.
+#: ``server_latency`` is a PercentileTracker: encoded as exact samples
+#: or as DDSketch state, decoded back into a tracker kwarg.
+FIELD_ALIASES: Dict[str, Set[str]] = {
+    "server_latency": {"server_latency_samples", "server_latency_sketch"},
+}
+
+#: Files the project-level checks walk, relative to the repro package
+#: root (located inside whatever tree is being linted).
+SPEC_FILE = "sweep/spec.py"
+SERIALIZE_FILE = "store/serialize.py"
+METRICS_FILE = "server/metrics.py"
+
+#: The committed shape manifest lives next to this module.
+MANIFEST_PATH = os.path.join(os.path.dirname(__file__), "codec_manifest.json")
+
+
+def _parse(path: str) -> ast.Module:
+    with open(path, encoding="utf-8") as handle:
+        return ast.parse(handle.read(), filename=path)
+
+
+def _class_def(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _dataclass_fields(class_def: ast.ClassDef) -> List[Tuple[str, int]]:
+    """(field name, line) for each annotated dataclass field."""
+    fields = []
+    for node in class_def.body:
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            annotation = ast.dump(node.annotation)
+            if "ClassVar" in annotation:
+                continue
+            fields.append((node.target.id, node.lineno))
+    return fields
+
+
+def _function_def(
+    class_def: ast.AST, name: str
+) -> Optional[ast.FunctionDef]:
+    for node in getattr(class_def, "body", []):
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _self_reads(func: ast.FunctionDef) -> Set[str]:
+    """Names read as ``self.<name>`` anywhere in ``func``."""
+    reads = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            reads.add(node.attr)
+    return reads
+
+
+def _dict_literal_keys(func: ast.FunctionDef) -> Set[str]:
+    """String keys of every dict literal (and str subscript store) in
+    ``func`` — the keys ``result_to_dict`` emits."""
+    keys = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.add(key.value)
+        elif (
+            isinstance(node, (ast.Assign, ast.AugAssign))
+            and isinstance(getattr(node, "targets", [None])[0]
+                          if isinstance(node, ast.Assign) else node.target,
+                          ast.Subscript)
+        ):
+            target = node.targets[0] if isinstance(node, ast.Assign) else node.target
+            key = target.slice
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys.add(key.value)
+    return keys
+
+
+def _constructor_kwargs(func: ast.FunctionDef, class_name: str) -> Set[str]:
+    """Keyword names passed to ``class_name(...)`` inside ``func``."""
+    kwargs = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == class_name
+        ):
+            for keyword in node.keywords:
+                if keyword.arg is not None:
+                    kwargs.add(keyword.arg)
+    return kwargs
+
+
+def _module_constant(tree: ast.Module, name: str) -> Any:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    try:
+                        return ast.literal_eval(node.value)
+                    except ValueError:
+                        return None
+    return None
+
+
+def _relpath(path: str) -> str:
+    rel = os.path.relpath(path)
+    return rel.replace(os.sep, "/") if not rel.startswith("..") else path
+
+
+# -- SPEC001 ---------------------------------------------------------------
+def check_cache_key_coverage(spec_path: str) -> List[Finding]:
+    """Every ScenarioSpec field must be read by the cache_key property."""
+    tree = _parse(spec_path)
+    class_def = _class_def(tree, "ScenarioSpec")
+    display = _relpath(spec_path)
+    if class_def is None:
+        return [
+            Finding(
+                path=display, line=1, col=0, rule_id="SPEC001",
+                message="ScenarioSpec class not found; cache-key coverage "
+                        "cannot be verified",
+            )
+        ]
+    cache_key = _function_def(class_def, "cache_key")
+    if cache_key is None:
+        return [
+            Finding(
+                path=display, line=class_def.lineno, col=class_def.col_offset,
+                rule_id="SPEC001",
+                message="ScenarioSpec.cache_key property not found",
+            )
+        ]
+    reads = _self_reads(cache_key)
+    findings = []
+    for field_name, line in _dataclass_fields(class_def):
+        if field_name not in reads:
+            findings.append(
+                Finding(
+                    path=display, line=line, col=4, rule_id="SPEC001",
+                    message=(
+                        f"ScenarioSpec.{field_name} is not part of "
+                        "cache_key: two specs differing only in "
+                        f"{field_name!r} would share a store row"
+                    ),
+                )
+            )
+    return findings
+
+
+# -- SPEC002 ---------------------------------------------------------------
+def check_codec_coverage(
+    serialize_path: str, metrics_path: str
+) -> List[Finding]:
+    """Every RunResult field must be emitted and decoded by the codec."""
+    serialize_tree = _parse(serialize_path)
+    metrics_tree = _parse(metrics_path)
+    display = _relpath(serialize_path)
+    class_def = _class_def(metrics_tree, "RunResult")
+    if class_def is None:
+        return [
+            Finding(
+                path=_relpath(metrics_path), line=1, col=0, rule_id="SPEC002",
+                message="RunResult class not found; codec coverage cannot "
+                        "be verified",
+            )
+        ]
+    to_dict = _function_def(serialize_tree, "result_to_dict")
+    from_dict = _function_def(serialize_tree, "result_from_dict")
+    findings = []
+    if to_dict is None or from_dict is None:
+        return [
+            Finding(
+                path=display, line=1, col=0, rule_id="SPEC002",
+                message="result_to_dict/result_from_dict not found in the "
+                        "store codec",
+            )
+        ]
+    emitted = _dict_literal_keys(to_dict)
+    decoded = _constructor_kwargs(from_dict, "RunResult")
+    # Decode also reads keys via data["..."] / data.get("...") — those
+    # count for the emit side of aliased fields only through FIELD_ALIASES.
+    for field_name, _line in _dataclass_fields(class_def):
+        aliases = FIELD_ALIASES.get(field_name, {field_name})
+        if not (aliases & emitted):
+            findings.append(
+                Finding(
+                    path=display, line=to_dict.lineno, col=to_dict.col_offset,
+                    rule_id="SPEC002",
+                    message=(
+                        f"RunResult.{field_name} is not emitted by "
+                        "result_to_dict: the observable would be lost on "
+                        "every store write"
+                    ),
+                )
+            )
+        # Aliased fields may be rebuilt through helper state rather than
+        # a direct kwarg; reading the aliased key from the row counts.
+        if field_name not in decoded and not (aliases & _loaded_keys(from_dict)):
+            findings.append(
+                Finding(
+                    path=display, line=from_dict.lineno,
+                    col=from_dict.col_offset, rule_id="SPEC002",
+                    message=(
+                        f"RunResult.{field_name} is not rebuilt by "
+                        "result_from_dict: every cache hit would "
+                        "drop the observable"
+                    ),
+                )
+            )
+    return findings
+
+
+def _loaded_keys(func: ast.FunctionDef) -> Set[str]:
+    """Keys read from the input dict: ``data["k"]`` or ``data.get("k")``."""
+    keys = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Subscript):
+            key = node.slice
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys.add(key.value)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            keys.add(node.args[0].value)
+    return keys
+
+
+# -- SPEC003 ---------------------------------------------------------------
+def codec_fingerprint(serialize_path: str) -> Tuple[Optional[int], str]:
+    """(FORMAT_VERSION, sha256 of the codec's shape).
+
+    The shape is everything a reader of a store row depends on: the keys
+    ``result_to_dict`` emits, the keys and kwargs ``result_from_dict``
+    consumes, and the accepted version set.
+    """
+    tree = _parse(serialize_path)
+    to_dict = _function_def(tree, "result_to_dict")
+    from_dict = _function_def(tree, "result_from_dict")
+    version = _module_constant(tree, "FORMAT_VERSION")
+    supported = _module_constant(tree, "SUPPORTED_VERSIONS")
+    shape = {
+        "emitted_keys": sorted(_dict_literal_keys(to_dict)) if to_dict else [],
+        "decoded_kwargs": sorted(
+            _constructor_kwargs(from_dict, "RunResult")
+        ) if from_dict else [],
+        "loaded_keys": sorted(_loaded_keys(from_dict)) if from_dict else [],
+        "format_version": version,
+        "supported_versions": list(supported) if supported else [],
+    }
+    digest = hashlib.sha256(
+        json.dumps(shape, sort_keys=True).encode("ascii")
+    ).hexdigest()
+    return (version if isinstance(version, int) else None), digest
+
+
+def check_codec_version(
+    serialize_path: str, manifest_path: str = MANIFEST_PATH
+) -> List[Finding]:
+    """The codec shape may only change together with a version bump."""
+    display = _relpath(serialize_path)
+    version, fingerprint = codec_fingerprint(serialize_path)
+    if version is None:
+        return [
+            Finding(
+                path=display, line=1, col=0, rule_id="SPEC003",
+                message="FORMAT_VERSION constant not found in the store codec",
+            )
+        ]
+    try:
+        with open(manifest_path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return [
+            Finding(
+                path=display, line=1, col=0, rule_id="SPEC003",
+                message=(
+                    "codec manifest missing or unreadable; run "
+                    "`repro lint --update-codec-manifest` and commit "
+                    + _relpath(manifest_path)
+                ),
+            )
+        ]
+    if manifest.get("format_version") != version:
+        return [
+            Finding(
+                path=display, line=1, col=0, rule_id="SPEC003",
+                message=(
+                    f"FORMAT_VERSION is {version} but the committed manifest "
+                    f"records {manifest.get('format_version')}; run "
+                    "`repro lint --update-codec-manifest` and commit the "
+                    "refreshed manifest with the codec change"
+                ),
+            )
+        ]
+    if manifest.get("fingerprint") != fingerprint:
+        return [
+            Finding(
+                path=display, line=1, col=0, rule_id="SPEC003",
+                message=(
+                    "store codec shape changed without bumping "
+                    f"FORMAT_VERSION (still {version}): old rows would "
+                    "misparse instead of missing cleanly; bump the version, "
+                    "extend SUPPORTED_VERSIONS handling, then run "
+                    "`repro lint --update-codec-manifest`"
+                ),
+            )
+        ]
+    return []
+
+
+def update_codec_manifest(
+    serialize_path: str, manifest_path: str = MANIFEST_PATH
+) -> Dict[str, Any]:
+    """Record the current codec shape; returns the written manifest."""
+    version, fingerprint = codec_fingerprint(serialize_path)
+    manifest = {"format_version": version, "fingerprint": fingerprint}
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return manifest
+
+
+# -- project entry ---------------------------------------------------------
+def locate_repro_files(paths: Sequence[str]) -> Dict[str, str]:
+    """Find the spec/serialize/metrics modules among analysed files.
+
+    Matching is by path suffix below a ``repro`` directory, so both the
+    real tree and test fixtures (``<tmp>/repro/store/serialize.py``)
+    resolve.
+    """
+    located: Dict[str, str] = {}
+    wanted = {SPEC_FILE: "spec", SERIALIZE_FILE: "serialize",
+              METRICS_FILE: "metrics"}
+    for path in paths:
+        normalized = path.replace(os.sep, "/")
+        for suffix, name in wanted.items():
+            if normalized.endswith("repro/" + suffix):
+                located[name] = path
+    return located
+
+
+def run_project_checks(
+    paths: Sequence[str], manifest_path: str = MANIFEST_PATH
+) -> List[Finding]:
+    """Run every SPEC check the analysed file set supports.
+
+    Checks needing a file outside the analysed set are skipped, so
+    linting a single unrelated directory stays meaningful.
+    """
+    located = locate_repro_files(paths)
+    findings: List[Finding] = []
+    if "spec" in located:
+        findings += check_cache_key_coverage(located["spec"])
+    if "serialize" in located and "metrics" in located:
+        findings += check_codec_coverage(located["serialize"], located["metrics"])
+    if "serialize" in located:
+        findings += check_codec_version(located["serialize"], manifest_path)
+    return findings

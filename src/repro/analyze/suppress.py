@@ -1,0 +1,199 @@
+"""Suppression comments: ``# repro: allow[RULE-ID] reason``.
+
+A finding is suppressed by an allow comment *with a written reason* on
+the same line, or on a comment-only line directly above (for statements
+too long to share a line with their justification). The reason is
+mandatory — a suppression is a reviewed claim that the flagged pattern
+is safe *here*, and the claim is the reason. Malformed, unknown-rule and
+stale (matching nothing) suppressions are findings themselves (ANA001 /
+ANA002 / ANA003), so the allowlist can only shrink back to honesty, never
+rot silently.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analyze.findings import Finding
+from repro.analyze.rules import declare_rule, known_rule_ids
+
+ANA001 = declare_rule(
+    "ANA001",
+    "suppression comment has no reason",
+    "A bare `# repro: allow[RULE-ID]` asserts the pattern is safe without "
+    "saying why. The reason is the reviewable part of a suppression; "
+    "without one the next reader cannot tell a considered exemption from "
+    "a silenced bug.",
+)
+ANA002 = declare_rule(
+    "ANA002",
+    "suppression references an unknown rule id",
+    "An allow comment naming a rule that does not exist suppresses "
+    "nothing and usually means a typo — the finding it meant to cover is "
+    "still failing, or worse, was never real.",
+)
+ANA003 = declare_rule(
+    "ANA003",
+    "suppression matches no finding",
+    "A stale allow comment outlives the code it excused and quietly "
+    "pre-authorises a future violation on that line. Delete suppressions "
+    "when the finding they covered goes away.",
+)
+ANA004 = declare_rule(
+    "ANA004",
+    "file cannot be parsed",
+    "A file the analyzer cannot parse is a file whose invariants nobody "
+    "is checking; syntax errors fail the gate rather than silently "
+    "shrinking coverage.",
+)
+
+#: One allow comment may carry several clauses, each shaped
+#: ``allow[RULE-ID] reason``, separated by ``--``. (The full marker
+#: syntax is spelled only in the module docstring: writing it in a
+#: comment would make this file suppress itself.)
+_ALLOW = re.compile(r"allow\[([A-Za-z]+[0-9]+)\]\s*([^#]*?)\s*(?=allow\[|$)")
+_MARKER = re.compile(r"#\s*repro:\s*(.*)$")
+
+
+@dataclass
+class Suppression:
+    """One parsed allow clause.
+
+    Attributes:
+        line: line the comment sits on.
+        target_line: line whose findings it covers (the next line for
+            comment-only lines, its own otherwise).
+        rule_id: rule being allowed.
+        reason: the written justification (may be empty -> ANA001).
+        used: set during matching; unused suppressions raise ANA003.
+    """
+
+    line: int
+    target_line: int
+    rule_id: str
+    reason: str
+    used: bool = False
+
+
+def parse_suppressions(
+    path: str, source: str
+) -> Tuple[List[Suppression], List[Finding]]:
+    """Extract allow clauses and their hygiene findings from a file.
+
+    Returns:
+        (suppressions, findings) — findings are ANA001 (missing reason)
+        and ANA002 (unknown rule id) records; such clauses are *not*
+        returned as usable suppressions.
+    """
+    suppressions: List[Suppression] = []
+    findings: List[Finding] = []
+    known = known_rule_ids()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):
+        # The AST parse reports unreadable files (ANA004); no comments
+        # can be trusted out of a half-tokenized file.
+        return [], []
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        marker = _MARKER.search(token.string)
+        if marker is None:
+            continue
+        line = token.start[0]
+        comment_only = token.string.strip() == token.line.strip()
+        target = line + 1 if comment_only else line
+        clauses = list(_ALLOW.finditer(marker.group(1)))
+        if not clauses:
+            findings.append(
+                Finding(
+                    path=path, line=line, col=token.start[1],
+                    rule_id="ANA001",
+                    message=(
+                        "malformed suppression: expected "
+                        "`# repro: allow[RULE-ID] reason`"
+                    ),
+                )
+            )
+            continue
+        for clause in clauses:
+            rule_id, reason = clause.group(1), clause.group(2).strip()
+            reason = reason.rstrip("-").strip()
+            if rule_id not in known:
+                findings.append(
+                    Finding(
+                        path=path, line=line, col=token.start[1],
+                        rule_id="ANA002",
+                        message=f"suppression references unknown rule {rule_id!r}",
+                    )
+                )
+                continue
+            if not reason:
+                findings.append(
+                    Finding(
+                        path=path, line=line, col=token.start[1],
+                        rule_id="ANA001",
+                        message=(
+                            f"suppression of {rule_id} has no reason; write "
+                            "`# repro: allow[" + rule_id + "] why this is safe`"
+                        ),
+                    )
+                )
+                continue
+            suppressions.append(
+                Suppression(
+                    line=line, target_line=target, rule_id=rule_id, reason=reason
+                )
+            )
+    return suppressions, findings
+
+
+def apply_suppressions(
+    findings: List[Finding], by_path: Dict[str, List[Suppression]]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (active, suppressed) and flag stale allows.
+
+    A suppression covers findings of its rule on its target line in its
+    file. Stale suppressions (matching nothing) come back as ANA003
+    findings appended to the active list.
+    """
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        match: Optional[Suppression] = None
+        for suppression in by_path.get(finding.path, []):
+            if (
+                suppression.rule_id == finding.rule_id
+                and suppression.target_line == finding.line
+            ):
+                match = suppression
+                break
+        if match is None:
+            active.append(finding)
+        else:
+            match.used = True
+            suppressed.append(
+                Finding(
+                    path=finding.path, line=finding.line, col=finding.col,
+                    rule_id=finding.rule_id, message=finding.message,
+                    suppressed=True, suppress_reason=match.reason,
+                )
+            )
+    for path in sorted(by_path):
+        for suppression in by_path[path]:
+            if not suppression.used:
+                active.append(
+                    Finding(
+                        path=path, line=suppression.line, col=0,
+                        rule_id="ANA003",
+                        message=(
+                            f"suppression of {suppression.rule_id} matches no "
+                            "finding; delete the stale allow comment"
+                        ),
+                    )
+                )
+    return sorted(active), sorted(suppressed)

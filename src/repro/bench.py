@@ -25,7 +25,7 @@ import os
 import platform
 import sys
 import tempfile
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError
 

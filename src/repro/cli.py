@@ -19,6 +19,10 @@ Usage::
     python -m repro bench --quick        # substrate benchmarks + gate
     python -m repro bench cluster --tolerance 0.5       # one named suite
     python -m repro bench --quick --update-baseline     # refresh floor
+    python -m repro lint src             # determinism/invariant analysis
+    python -m repro lint --rules         # print the rule catalog
+    python -m repro lint src --format json              # machine-readable
+    python -m repro lint --update-codec-manifest        # after codec bumps
 
 Experiments come from the declarative registry
 (:mod:`repro.experiments.api`): ``run`` collects the union of every
@@ -687,6 +691,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-compare", action="store_true",
         help="write results only; skip the baseline gate",
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="static determinism & invariant analysis (DET/FAST/SPEC rules)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=None, metavar="PATH",
+        help="files or directories to analyze (default: the repro source "
+             "tree this installation runs from)",
+    )
+    lint.add_argument(
+        "-f", "--format", choices=["text", "json"], default="text",
+        dest="format", help="report format (default: text)",
+    )
+    lint.add_argument(
+        "-j", "--jobs", type=int, metavar="N",
+        help="analyze files over N worker processes (default: auto-sized "
+             "for large file sets, serial for small ones)",
+    )
+    lint.add_argument(
+        "--rules", action="store_true",
+        help="print the rule catalog (id, title, rationale) and exit",
+    )
+    lint.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="accepted-findings baseline to compare against (default: the "
+             "committed zero-finding baseline)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="report raw findings without baseline comparison",
+    )
+    lint.add_argument(
+        "--no-project-checks", action="store_true",
+        help="skip the project-level SPEC invariant checks (cache-key / "
+             "codec coverage), running only the per-file rules",
+    )
+    lint.add_argument(
+        "--update-codec-manifest", action="store_true",
+        help="re-fingerprint the store codec and write the committed "
+             "manifest (run after an intentional, version-bumped codec "
+             "change), then exit",
+    )
     return parser
 
 
@@ -725,21 +772,83 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return EXIT_ERROR
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Static determinism/invariant analysis with the baseline gate."""
+    from repro import analyze
+
+    if args.rules:
+        for rule_id, title, rationale in analyze.rule_catalog():
+            print(f"{rule_id}  {title}")
+            for line in rationale.splitlines():
+                print(f"    {line}")
+            print()
+        return EXIT_OK
+    if args.update_codec_manifest:
+        try:
+            manifest = analyze.update_codec_manifest()
+        except ReproError as exc:
+            print(f"cannot update codec manifest: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        print(
+            f"wrote codec manifest: format_version="
+            f"{manifest['format_version']} fingerprint={manifest['fingerprint']}"
+        )
+        return EXIT_OK
+
+    # Default to the installed repro package so `python -m repro lint`
+    # means "lint this codebase" from any working directory.
+    paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+    try:
+        result = analyze.run_lint(
+            paths, jobs=args.jobs,
+            project_checks=not args.no_project_checks,
+        )
+        if args.no_baseline:
+            baseline = []
+        elif args.baseline is not None:
+            baseline = analyze.load_baseline(args.baseline)
+        else:
+            baseline = analyze.load_baseline()
+    except ReproError as exc:
+        print(f"lint failed: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    gating = analyze.compare_to_baseline(result.findings, baseline)
+    if args.format == "json":
+        print(analyze.render_json(result))
+    else:
+        print(analyze.render_text(result))
+        accepted = len(result.findings) - len(gating)
+        if accepted:
+            print(f"{accepted} finding(s) accepted by baseline")
+    return EXIT_ERROR if gating else EXIT_OK
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        return cmd_list()
-    if args.command == "sweep":
-        return cmd_sweep(args)
-    if args.command == "cache":
-        return cmd_cache(args)
-    if args.command == "bench":
-        return cmd_bench(args)
-    return cmd_run(
-        args.ids, args.all, args.output_dir, args.jobs,
-        no_cache=args.no_cache, cache_dir=args.cache_dir,
-        fmt=args.format, quick=args.quick, params=args.params,
-    )
+    try:
+        if args.command == "list":
+            return cmd_list()
+        if args.command == "sweep":
+            return cmd_sweep(args)
+        if args.command == "cache":
+            return cmd_cache(args)
+        if args.command == "bench":
+            return cmd_bench(args)
+        if args.command == "lint":
+            return cmd_lint(args)
+        return cmd_run(
+            args.ids, args.all, args.output_dir, args.jobs,
+            no_cache=args.no_cache, cache_dir=args.cache_dir,
+            fmt=args.format, quick=args.quick, params=args.params,
+        )
+    except BrokenPipeError:
+        # `repro ... | head` closes stdout early; that is the reader's
+        # choice, not an error. Detach stdout so the interpreter's exit
+        # flush does not raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return EXIT_OK
 
 
 if __name__ == "__main__":

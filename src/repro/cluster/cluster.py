@@ -160,9 +160,12 @@ class Cluster:
         residency: Dict[str, float] = {}
         transitions: Dict[str, float] = {}
         for result in per_node:
-            for name, value in result.residency.items():
+            # sorted(): per-key accumulation order must be a function of
+            # the state names, not of per-node dict insertion history
+            # (DET005 — bit-identity across executors).
+            for name, value in sorted(result.residency.items()):
                 residency[name] = residency.get(name, 0.0) + value
-            for name, value in result.transitions_per_second.items():
+            for name, value in sorted(result.transitions_per_second.items()):
                 transitions[name] = transitions.get(name, 0.0) + value
         residency = {name: value / k for name, value in residency.items()}
         transitions = {name: value / k for name, value in transitions.items()}

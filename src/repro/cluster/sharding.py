@@ -185,9 +185,12 @@ def merge_node_results(spec, per_node: Sequence[RunResult]) -> RunResult:
     residency: Dict[str, float] = {}
     transitions: Dict[str, float] = {}
     for result in per_node:
-        for name, value in result.residency.items():
+        # sorted(): decoded store rows and freshly-simulated results may
+        # carry key orders from different code paths; accumulation order
+        # must depend on the state names alone (DET005).
+        for name, value in sorted(result.residency.items()):
             residency[name] = residency.get(name, 0.0) + value
-        for name, value in result.transitions_per_second.items():
+        for name, value in sorted(result.transitions_per_second.items()):
             transitions[name] = transitions.get(name, 0.0) + value
     residency = {name: value / k for name, value in residency.items()}
     transitions = {name: value / k for name, value in transitions.items()}

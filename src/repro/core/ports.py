@@ -27,7 +27,7 @@ from repro.core.ccsm import CCSMConfig
 from repro.core.ufpg import UFPGConfig
 from repro.power.clock import ADPLL
 from repro.power.pdn import FIVR
-from repro.units import KB, MB, MILLIWATT
+from repro.units import KB, MILLIWATT
 
 
 def skylake_server_design() -> AgileWattsDesign:

@@ -19,7 +19,7 @@ P1, ~18-30 mW at Pn), retention power (~2 mW / ~1 mW) and area overhead
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 from repro.errors import PowerModelError

@@ -149,7 +149,11 @@ class UngatedSRAM(RetentionStructure):
     uncore S/R SRAM that the C6 exit flow performs.
     """
 
-    def __init__(self, name: str = "microcode_patch_sram", context_bytes: int = MICROCODE_SRAM_BYTES):
+    def __init__(
+        self,
+        name: str = "microcode_patch_sram",
+        context_bytes: int = MICROCODE_SRAM_BYTES,
+    ):
         super().__init__(
             name=name,
             context_bytes=context_bytes,

@@ -11,7 +11,7 @@ Turbo enabled; ``No_C6``/``No_C1E`` are BIOS C-state disables.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.architecture import AgileWattsDesign

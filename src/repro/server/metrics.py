@@ -9,7 +9,7 @@ and average/tail latency, server-side and end-to-end (Figs 8c, 9a/b, 10,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.simkit.stats import PercentileTracker

@@ -36,7 +36,7 @@ from enum import Enum
 from functools import partial
 from typing import Callable, Deque, Dict, List, Optional
 
-from repro.core.cstates import CState, FrequencyPoint
+from repro.core.cstates import CState
 from repro.errors import ConfigurationError, SimulationError
 from repro.governor.idle import IdleGovernor, MenuGovernor
 from repro.server.config import ServerConfiguration
@@ -421,9 +421,12 @@ class ServerNode:
         energy = 0.0
         for rt in self._runtimes:
             stats = rt.core.snapshot(self.horizon)
-            for name, seconds in stats.residency_seconds.items():
+            # sorted(): per-key accumulation order must be a function of
+            # the state names, not of per-core dict insertion history
+            # (DET005 — bit-identity across executors).
+            for name, seconds in sorted(stats.residency_seconds.items()):
                 residency[name] = residency.get(name, 0.0) + seconds
-            for name, count in stats.transitions.items():
+            for name, count in sorted(stats.transitions.items()):
                 transitions[name] = transitions.get(name, 0.0) + count
             energy += stats.energy_joules
 

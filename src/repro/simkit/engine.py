@@ -46,7 +46,9 @@ class Event:
 
     __slots__ = ("time", "seq", "callback", "cancelled", "label")
 
-    def __init__(self, time: float, seq: int, callback: EventCallback, label: str = ""):
+    def __init__(
+        self, time: float, seq: int, callback: EventCallback, label: str = ""
+    ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
@@ -68,8 +70,12 @@ class Event:
 
 
 #: Heap entry: (time, seq, payload). seq is unique, so comparisons never
-#: reach the payload (callbacks and Events need not be orderable).
-_HeapEntry = Tuple[float, int, object]
+#: reach the payload (callbacks and Events need not be orderable). The
+#: payload slot is ``Any`` on purpose: it holds either an :class:`Event`
+#: or a bare callback, discriminated by an exact ``__class__`` test in
+#: the hot loop — a ``Union`` would force casts on the most executed
+#: lines in the repository.
+_HeapEntry = Tuple[float, int, Any]
 
 
 class Simulator:

@@ -31,7 +31,7 @@ hundred buckets regardless of sample count.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -66,7 +66,7 @@ class DDSketch:
         self,
         relative_error: float = DEFAULT_RELATIVE_ERROR,
         max_bins: int = DEFAULT_MAX_BINS,
-    ):
+    ) -> None:
         if not 0.0 < relative_error < 1.0:
             raise ConfigurationError(
                 f"relative_error must be in (0, 1), got {relative_error}"
@@ -202,6 +202,7 @@ class DDSketch:
             above = self._count - self._zero_count
         else:
             boundary = math.ceil(math.log(threshold) * self._multiplier)
+            # repro: allow[DET005] integer bucket counts: exact, order-independent addition
             above = sum(
                 count for index, count in self._bins.items() if index > boundary
             )
@@ -230,6 +231,7 @@ class DDSketch:
             )
         merged = DDSketch(self.relative_error, self.max_bins)
         merged._bins = dict(self._bins)
+        # repro: allow[DET005] integer bucket counts merge exactly in any order
         for index, count in other._bins.items():
             merged._bins[index] = merged._bins.get(index, 0) + count
         if len(merged._bins) > merged.max_bins:
@@ -262,7 +264,7 @@ class DDSketch:
         }
 
     @classmethod
-    def from_state(cls, state: Dict[str, object]) -> "DDSketch":
+    def from_state(cls, state: Dict[str, Any]) -> "DDSketch":
         """Rebuild a sketch from :meth:`to_state` output.
 
         Raises:

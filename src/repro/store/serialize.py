@@ -20,7 +20,7 @@ from __future__ import annotations
 import base64
 import struct
 import zlib
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Sequence
 
 from repro.errors import ConfigurationError
 from repro.server.metrics import RunResult
@@ -91,7 +91,7 @@ def result_to_dict(result: RunResult) -> Dict[str, object]:
     }
 
 
-def result_from_dict(data: Dict[str, object]) -> RunResult:
+def result_from_dict(data: Dict[str, Any]) -> RunResult:
     """Rebuild a :class:`RunResult` from :func:`result_to_dict` output.
 
     Raises:

@@ -22,12 +22,22 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import asdict, dataclass, fields, replace
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+    cast,
+)
 
 from repro.cluster.balancer import (
     BALANCER_FACTORIES,
-    IMPORT_TIME_BALANCER_FACTORIES,
-    register_balancer,
+    register_balancer,  # noqa: F401  (re-exported via repro.sweep)
 )
 from repro.errors import ConfigurationError
 from repro.governor.idle import FixedGovernor, MenuGovernor, ReplayOracleGovernor
@@ -94,7 +104,7 @@ def register_governor(name: str, factory: Callable[[], object]) -> None:
 
 
 #: Canonical cache-key type: a flat tuple of hashable scalars.
-CacheKey = Tuple
+CacheKey = Tuple[object, ...]
 
 
 @dataclass(frozen=True)
@@ -260,7 +270,7 @@ class ScenarioSpec:
         return asdict(self)
 
     @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
         """Rebuild a spec from :meth:`to_dict` output.
 
         Raises:
@@ -277,7 +287,7 @@ class ScenarioSpec:
         except TypeError as exc:
             raise ConfigurationError(f"incomplete ScenarioSpec dict: {exc}") from exc
 
-    def with_(self, **overrides) -> "ScenarioSpec":
+    def with_(self, **overrides: Any) -> "ScenarioSpec":
         """A copy with the given fields replaced."""
         return replace(self, **overrides)
 
@@ -300,7 +310,11 @@ class ScenarioSpec:
             except (TypeError, ValueError):  # builtins / C callables
                 seed_param = None
             if seed_param is not None and isinstance(seed_param.default, int):
-                return factory(
+                # The zero-argument factory type is the registration
+                # contract; built-ins additionally accept a seed keyword,
+                # which the signature probe above just verified.
+                seeded = cast(Callable[..., Workload], factory)
+                return seeded(
                     seed=seed_param.default + WORKLOAD_NODE_SEED_STRIDE * node
                 )
         return factory()
@@ -420,7 +434,7 @@ class ScenarioGrid:
         return cls(specs)
 
     @classmethod
-    def from_dicts(cls, dicts: Sequence[Dict[str, object]]) -> "ScenarioGrid":
+    def from_dicts(cls, dicts: Sequence[Dict[str, Any]]) -> "ScenarioGrid":
         return cls([ScenarioSpec.from_dict(d) for d in dicts])
 
     def to_dicts(self) -> List[Dict[str, object]]:
@@ -433,7 +447,9 @@ class ScenarioGrid:
     def __len__(self) -> int:
         return len(self._specs)
 
-    def __getitem__(self, index):
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[ScenarioSpec, Tuple[ScenarioSpec, ...]]:
         return self._specs[index]
 
     def __add__(self, other: "ScenarioGrid") -> "ScenarioGrid":

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.core.cstates import CState, CStateCatalog, FrequencyPoint, active_power
+from repro.core.cstates import CState, CStateCatalog, FrequencyPoint
 from repro.errors import SimulationError
 
 #: Fixed-point scale for core-power bookkeeping (joint contract with

@@ -17,7 +17,7 @@ The model is a token bucket measured in joules of headroom.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.cstates import FrequencyPoint
 from repro.errors import ConfigurationError, SimulationError

@@ -14,7 +14,6 @@ the AW model charges the ~1% fmax penalty of the extra power gates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.core.cstates import FrequencyPoint
 from repro.errors import WorkloadError

@@ -20,7 +20,6 @@ evaluation can run on trace-derived service times.
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass
 from typing import Iterator, List

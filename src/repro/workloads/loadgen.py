@@ -11,7 +11,7 @@ consumes it event by event.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterator
 
 from repro.errors import WorkloadError
 from repro.simkit.distributions import Exponential
