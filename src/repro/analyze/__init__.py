@@ -24,8 +24,18 @@ Rule series (see each rule's docstring for the full rationale):
   fields against both serializers' ASTs: every ``ScenarioSpec`` field in
   the canonical ``cache_key``, every ``RunResult`` field in the store
   codec, and codec shape changes must bump ``FORMAT_VERSION``.
+- **CONC** — process-boundary hazards, resolved through a project call
+  graph (:mod:`repro.analyze.callgraph`): unpicklable callables and
+  captures handed to pools, module globals written in worker-reachable
+  code but read in the parent, RNG/``Simulator`` instances shared
+  across a fork, and parent-only imports in worker-reachable code.
 - **ANA** — hygiene of the analysis itself: unparseable files and
   malformed, unknown or stale suppression comments.
+
+Static analysis has a runtime twin: :mod:`repro.simkit.sanitizer`
+(``REPRO_SANITIZE=1`` / ``--sanitize``) checks the invariants only a
+running simulation exposes, and reports violations through the same
+:class:`Finding` type.
 
 Suppress a finding with an inline comment carrying a written reason::
 
@@ -36,7 +46,8 @@ Run it as ``repro lint src`` (or programmatically via
 :mod:`repro.analyze.report` for output formats and the CI baseline.
 """
 
-from repro.analyze.engine import LintResult, run_lint
+from repro.analyze.conc import run_conc_checks
+from repro.analyze.engine import LintResult, fix_stale_suppressions, run_lint
 from repro.analyze.findings import REPORT_VERSION, Finding
 from repro.analyze.rules import RULES, all_rules, rule_catalog
 from repro.analyze.report import (
@@ -56,7 +67,9 @@ __all__ = [
     "RULES",
     "all_rules",
     "compare_to_baseline",
+    "fix_stale_suppressions",
     "load_baseline",
+    "run_conc_checks",
     "render_json",
     "render_text",
     "report_from_dict",

@@ -12,12 +12,16 @@ covers per-file and cross-module findings alike.
 from __future__ import annotations
 
 import ast
+import io
 import os
+import re
+import tokenize
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analyze.findings import Finding
+from repro.analyze.paths import display_path
 from repro.analyze.rules import FileContext, all_rules
 
 # Rule modules register themselves on import. The imports live HERE, not
@@ -26,8 +30,11 @@ from repro.analyze.rules import FileContext, all_rules
 # happily report a clean file.
 import repro.analyze.det  # noqa: F401  (registration side effect)
 import repro.analyze.fastpath  # noqa: F401  (registration side effect)
+from repro.analyze.conc import run_conc_checks
 from repro.analyze.speccheck import MANIFEST_PATH, run_project_checks
 from repro.analyze.suppress import (
+    _ALLOW,
+    _MARKER,
     Suppression,
     apply_suppressions,
     parse_suppressions,
@@ -82,10 +89,9 @@ def discover_files(paths: Sequence[str]) -> List[str]:
 
 
 def _display_path(path: str) -> str:
-    """Repo-relative forward-slash path when possible (stable baselines)."""
-    rel = os.path.relpath(path)
-    chosen = path if rel.startswith("..") else rel
-    return chosen.replace(os.sep, "/")
+    """Repo-relative forward-slash path when possible (stable baselines,
+    identical findings from any cwd). See :mod:`repro.analyze.paths`."""
+    return display_path(path)
 
 
 def analyze_file(path: str) -> Tuple[List[Finding], List[Suppression]]:
@@ -164,8 +170,110 @@ def run_lint(
 
     if project_checks:
         findings.extend(run_project_checks(files, manifest_path))
+        findings.extend(run_conc_checks(files))
 
     active, suppressed = apply_suppressions(findings, by_path)
     return LintResult(
         findings=active, suppressed=suppressed, files_analyzed=len(files)
     )
+
+
+_STALE_MESSAGE = re.compile(r"suppression of ([A-Za-z]+[0-9]+) matches no")
+
+
+def _comment_column(source: str, lineno: int) -> Optional[int]:
+    """Column of the (tokenizer-verified) comment on line ``lineno``."""
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT and token.start[0] == lineno:
+                return token.start[1]
+    except (tokenize.TokenError, IndentationError):
+        return None
+    return None
+
+
+def _remove_allow_clause(line_text: str, col: int, rule_id: str) -> Optional[str]:
+    """``line_text`` with the ``allow[rule_id]`` clause deleted.
+
+    Returns None when the comment carries no such clause; returns ``""``
+    (plus the original line ending) when the whole line was only that
+    comment and should disappear.
+    """
+    stripped = line_text.rstrip("\r\n")
+    ending = line_text[len(stripped):]
+    prefix, comment = stripped[:col], stripped[col:]
+    marker = _MARKER.search(comment)
+    if marker is None:
+        return None
+    clauses = [
+        (m.group(1), m.group(2).strip().rstrip("-").strip())
+        for m in _ALLOW.finditer(marker.group(1))
+    ]
+    kept = [(rid, reason) for rid, reason in clauses if rid != rule_id]
+    if len(kept) == len(clauses):
+        return None
+    if kept:
+        body = " -- ".join(
+            f"allow[{rid}] {reason}" if reason else f"allow[{rid}]"
+            for rid, reason in kept
+        )
+        return f"{prefix}{comment[: marker.start()]}# repro: {body}{ending}"
+    remainder = prefix.rstrip()
+    if not remainder:
+        return ""  # comment-only line: delete it outright
+    return remainder + ending
+
+
+def fix_stale_suppressions(
+    paths: Sequence[str],
+    jobs: Optional[int] = None,
+    manifest_path: str = MANIFEST_PATH,
+) -> int:
+    """Delete every ANA003 stale suppression in place; returns the count.
+
+    Runs a full lint to locate stale allow clauses (the tokenizer
+    anchors them exactly), then rewrites each affected file: the clause
+    is removed from its comment, an emptied comment is removed from its
+    line, and an emptied comment-only line is deleted entirely.
+    """
+    result = run_lint(paths, jobs=jobs, manifest_path=manifest_path)
+    stale = [f for f in result.findings if f.rule_id == "ANA003"]
+    if not stale:
+        return 0
+    fs_by_display = {_display_path(p): p for p in discover_files(paths)}
+    by_file: Dict[str, List[Finding]] = {}
+    for finding in stale:
+        by_file.setdefault(finding.path, []).append(finding)
+    removed = 0
+    for display in sorted(by_file):
+        fs_path = fs_by_display.get(display)
+        if fs_path is None:
+            continue
+        with open(fs_path, encoding="utf-8") as handle:
+            source = handle.read()
+        lines = source.splitlines(keepends=True)
+        changed = False
+        for finding in sorted(by_file[display], reverse=True):
+            match = _STALE_MESSAGE.match(finding.message)
+            index = finding.line - 1
+            if match is None or index >= len(lines):
+                continue
+            col = _comment_column("".join(lines), finding.line)
+            if col is None:
+                continue
+            new_line = _remove_allow_clause(
+                lines[index], col, match.group(1)
+            )
+            if new_line is None:
+                continue
+            if new_line == "":
+                del lines[index]
+            else:
+                lines[index] = new_line
+            changed = True
+            removed += 1
+        if changed:
+            with open(fs_path, "w", encoding="utf-8") as handle:
+                handle.write("".join(lines))
+    return removed

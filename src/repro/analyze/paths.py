@@ -1,0 +1,37 @@
+"""Display-path normalization shared by every analysis layer.
+
+Findings and the committed baseline anchor on *repo-relative* paths
+(``src/repro/...``) so a lint run produces identical reports — and the
+zero-finding baseline keeps matching — from any working directory.
+Files outside the repository (e.g. test fixture trees under ``/tmp``)
+fall back to the old behaviour: cwd-relative when that does not escape
+upward, else the path as given.
+"""
+
+from __future__ import annotations
+
+import os
+
+# The repository root for an in-tree run: this file lives at
+# <root>/src/repro/analyze/paths.py. When the package is imported from
+# somewhere else (an installed copy), no linted file sits under the
+# derived root, so the cwd-relative fallback below applies and the
+# behaviour matches the pre-normalization CLI.
+_ANALYZE_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(_ANALYZE_DIR)))
+
+
+def display_path(path: str) -> str:
+    """Stable forward-slash display path for ``path``.
+
+    Repo-relative when the file is inside the repository (independent of
+    the current working directory — the anchor is derived from this
+    module's own location); otherwise cwd-relative when that stays below
+    the cwd, else the path as given.
+    """
+    rel = os.path.relpath(os.path.abspath(path), REPO_ROOT)
+    if not rel.startswith(".."):
+        return rel.replace(os.sep, "/")
+    rel = os.path.relpath(path)
+    chosen = path if rel.startswith("..") else rel
+    return chosen.replace(os.sep, "/")

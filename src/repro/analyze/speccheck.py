@@ -33,6 +33,7 @@ import os
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analyze.findings import Finding
+from repro.analyze.paths import display_path
 from repro.analyze.rules import declare_rule
 
 SPEC001 = declare_rule(
@@ -171,8 +172,8 @@ def _module_constant(tree: ast.Module, name: str) -> Any:
 
 
 def _relpath(path: str) -> str:
-    rel = os.path.relpath(path)
-    return rel.replace(os.sep, "/") if not rel.startswith("..") else path
+    """Repo-relative display path (cwd-independent; see analyze.paths)."""
+    return display_path(path)
 
 
 # -- SPEC001 ---------------------------------------------------------------

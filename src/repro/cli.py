@@ -527,6 +527,12 @@ def build_parser() -> argparse.ArgumentParser:
         "-j", "--jobs", type=int, metavar="N",
         help="simulate sweep points over N worker processes (with progress meter)",
     )
+    run.add_argument(
+        "--sanitize", action="store_true",
+        help="run with the runtime sim-sanitizer (SAN rules): checked "
+             "engine loop plus periodic deep audits; results stay "
+             "bit-identical, simulation runs a constant factor slower",
+    )
     add_cache_flags(run)
 
     sweep = sub.add_parser(
@@ -636,6 +642,11 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", metavar="FILE",
         help="write one JSON record per point (JSONL) instead of a table",
     )
+    sweep.add_argument(
+        "--sanitize", action="store_true",
+        help="run with the runtime sim-sanitizer (SAN rules); worker "
+             "processes inherit the setting via REPRO_SANITIZE",
+    )
     add_cache_flags(sweep)
 
     cache = sub.add_parser(
@@ -729,6 +740,11 @@ def build_parser() -> argparse.ArgumentParser:
              "codec coverage), running only the per-file rules",
     )
     lint.add_argument(
+        "--fix-stale", action="store_true",
+        help="delete stale allow[...] suppression clauses (ANA003) from "
+             "the analyzed files in place, then exit",
+    )
+    lint.add_argument(
         "--update-codec-manifest", action="store_true",
         help="re-fingerprint the store codec and write the committed "
              "manifest (run after an intentional, version-bumped codec "
@@ -798,6 +814,14 @@ def cmd_lint(args: argparse.Namespace) -> int:
     # Default to the installed repro package so `python -m repro lint`
     # means "lint this codebase" from any working directory.
     paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+    if args.fix_stale:
+        try:
+            removed = analyze.fix_stale_suppressions(paths, jobs=args.jobs)
+        except ReproError as exc:
+            print(f"lint --fix-stale failed: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        print(f"removed {removed} stale suppression clause(s)")
+        return EXIT_OK
     try:
         result = analyze.run_lint(
             paths, jobs=args.jobs,
@@ -826,22 +850,29 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "sanitize", False):
+        from repro.simkit import sanitizer
+
+        scope: "contextlib.AbstractContextManager[None]" = sanitizer.enabled(True)
+    else:
+        scope = contextlib.nullcontext()
     try:
-        if args.command == "list":
-            return cmd_list()
-        if args.command == "sweep":
-            return cmd_sweep(args)
-        if args.command == "cache":
-            return cmd_cache(args)
-        if args.command == "bench":
-            return cmd_bench(args)
-        if args.command == "lint":
-            return cmd_lint(args)
-        return cmd_run(
-            args.ids, args.all, args.output_dir, args.jobs,
-            no_cache=args.no_cache, cache_dir=args.cache_dir,
-            fmt=args.format, quick=args.quick, params=args.params,
-        )
+        with scope:
+            if args.command == "list":
+                return cmd_list()
+            if args.command == "sweep":
+                return cmd_sweep(args)
+            if args.command == "cache":
+                return cmd_cache(args)
+            if args.command == "bench":
+                return cmd_bench(args)
+            if args.command == "lint":
+                return cmd_lint(args)
+            return cmd_run(
+                args.ids, args.all, args.output_dir, args.jobs,
+                no_cache=args.no_cache, cache_dir=args.cache_dir,
+                fmt=args.format, quick=args.quick, params=args.params,
+            )
     except BrokenPipeError:
         # `repro ... | head` closes stdout early; that is the reader's
         # choice, not an error. Detach stdout so the interpreter's exit

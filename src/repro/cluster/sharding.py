@@ -42,18 +42,22 @@ equals ``execute_partitioned(spec)`` bit-for-bit for every S.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.balancer import STATELESS_BALANCERS
 from repro.cluster.cluster import NODE_SEED_STRIDE
 from repro.errors import ConfigurationError, ShardingError
 from repro.server.metrics import RunResult
 from repro.server.node import ServerNode
+from repro.simkit import sanitizer as _sanitizer
 from repro.simkit.stats import PercentileTracker
 from repro.workloads.loadgen import LoadGenerator, RoundRobinThinned
 
+if TYPE_CHECKING:
+    from repro.sweep.spec import ScenarioSpec
 
-def is_shardable(spec) -> bool:
+
+def is_shardable(spec: "ScenarioSpec") -> bool:
     """Whether ``spec`` admits partitioned (and therefore sharded) runs.
 
     True exactly when the node subsets are independent given a
@@ -68,7 +72,7 @@ def is_shardable(spec) -> bool:
     )
 
 
-def check_shardable(spec) -> None:
+def check_shardable(spec: "ScenarioSpec") -> None:
     """Raise :class:`ShardingError` with the reason if not shardable."""
     if is_shardable(spec):
         return
@@ -117,7 +121,9 @@ def shard_ranges(nodes: int, shards: int) -> List[Tuple[int, int]]:
     return ranges
 
 
-def _node_loadgen(spec, node: int, node_seed: int) -> Optional[LoadGenerator]:
+def _node_loadgen(
+    spec: "ScenarioSpec", node: int, node_seed: int
+) -> Optional[LoadGenerator]:
     """The arrival process node ``node`` observes under partitioning.
 
     ``None`` keeps the node's default ``OpenLoopPoisson(leaf_qps,
@@ -132,7 +138,7 @@ def _node_loadgen(spec, node: int, node_seed: int) -> Optional[LoadGenerator]:
     return None
 
 
-def run_shard(spec, lo: int, hi: int) -> List[RunResult]:
+def run_shard(spec: "ScenarioSpec", lo: int, hi: int) -> List[RunResult]:
     """Simulate nodes ``[lo, hi)`` of a partitioned cluster point.
 
     Each node is a standalone :class:`ServerNode` on its own simulator,
@@ -166,7 +172,9 @@ def run_shard(spec, lo: int, hi: int) -> List[RunResult]:
     return results
 
 
-def merge_node_results(spec, per_node: Sequence[RunResult]) -> RunResult:
+def merge_node_results(
+    spec: "ScenarioSpec", per_node: Sequence[RunResult]
+) -> RunResult:
     """Fold per-node results into one cluster :class:`RunResult`.
 
     Replicates the aggregation of ``Cluster.collect`` term by term, in
@@ -216,7 +224,7 @@ def merge_node_results(spec, per_node: Sequence[RunResult]) -> RunResult:
         for i, result in enumerate(per_node)
     ]
 
-    return RunResult(
+    merged = RunResult(
         config_name=per_node[0].config_name,
         workload_name=per_node[0].workload_name,
         qps=spec.qps,
@@ -241,9 +249,53 @@ def merge_node_results(spec, per_node: Sequence[RunResult]) -> RunResult:
         events_processed=sum(r.events_processed for r in per_node),
         peak_pending_events=max(r.peak_pending_events for r in per_node),
     )
+    if _sanitizer.is_enabled():
+        _audit_merge(per_node, merged)
+    return merged
 
 
-def execute_partitioned(spec) -> RunResult:
+def _audit_merge(per_node: Sequence[RunResult], merged: RunResult) -> None:
+    """SAN005 spot-checks: the merge must be order-invariant.
+
+    Integer observables are conserved exactly (completions and latency
+    sample counts sum — losing either means a node's requests silently
+    vanished from the merged percentiles), and the float package-power
+    sum re-accumulated in *reversed* node order must agree with the
+    forward merge within the float re-association bound. The reversed
+    re-sum is the cheap canary for order-dependent accumulation creeping
+    into the merge path (the DET005 bug class, observed at runtime).
+    """
+    completed = sum(r.completed for r in per_node)
+    if merged.completed != completed:
+        raise _sanitizer.violation(
+            "SAN005", "cluster.sharding",
+            f"merged completion count {merged.completed} != exact "
+            f"per-node sum {completed}: the merge dropped or duplicated "
+            "a node's requests",
+        )
+    samples = sum(r.server_latency.count for r in per_node)
+    if merged.server_latency.count != samples:
+        raise _sanitizer.violation(
+            "SAN005", "cluster.sharding",
+            f"merged latency tracker holds {merged.server_latency.count} "
+            f"samples but the nodes recorded {samples}: the latency "
+            "merge is lossy",
+        )
+    backward = 0.0
+    for result in reversed(per_node):
+        backward += result.package_power
+    bound = 1e-9 * max(1.0, abs(merged.package_power))
+    if abs(merged.package_power - backward) > bound:
+        raise _sanitizer.violation(
+            "SAN005", "cluster.sharding",
+            f"package power merged forward ({merged.package_power!r} W) "
+            f"and re-summed in reversed node order ({backward!r} W) "
+            f"disagree beyond the re-association bound ({bound:.3e} W): "
+            "the merge is node-order-sensitive",
+        )
+
+
+def execute_partitioned(spec: "ScenarioSpec") -> RunResult:
     """Run a shardable cluster point in-process, node by node.
 
     The single-process counterpart of :func:`run_sharded`: both share
@@ -254,7 +306,9 @@ def execute_partitioned(spec) -> RunResult:
     return merge_node_results(spec, run_shard(spec, 0, spec.nodes))
 
 
-def _run_shard_payload(payload: Tuple[Dict[str, object], int, int]):
+def _run_shard_payload(
+    payload: Tuple[Dict[str, object], int, int]
+) -> Tuple[int, List[RunResult]]:
     """Worker-side entry point: rebuild the spec and run one shard.
 
     Takes ``(spec_dict, lo, hi)`` so the pickled payload stays decoupled
@@ -268,7 +322,9 @@ def _run_shard_payload(payload: Tuple[Dict[str, object], int, int]):
     return lo, run_shard(spec, lo, hi)
 
 
-def run_sharded(spec, shards: int, jobs: Optional[int] = None) -> RunResult:
+def run_sharded(
+    spec: "ScenarioSpec", shards: int, jobs: Optional[int] = None
+) -> RunResult:
     """Run a shardable cluster point as ``shards`` parallel node ranges.
 
     Args:

@@ -41,10 +41,12 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.governor.idle import IdleGovernor, MenuGovernor
 from repro.server.config import ServerConfiguration
 from repro.server.metrics import RunResult
+from repro.simkit import sanitizer as _sanitizer
 from repro.simkit.engine import Simulator
 from repro.simkit.stats import PercentileTracker
 from repro.simkit.trace import NULL_TRACE, TraceRecorder
 from repro.uarch.coherence import SnoopModel, SnoopTrafficGenerator
+from repro.uarch.core import INV_POWER_SCALE as _INV_POWER_SCALE
 from repro.uarch.core import Core
 from repro.uarch.package import Package, PackageConfig
 from repro.uarch.turbo import TurboBudget, TurboConfig
@@ -223,8 +225,38 @@ class ServerNode:
         self.trace = trace if trace is not None else NULL_TRACE
         #: Recycled :class:`_Request` instances.
         self._request_pool: List[_Request] = []
+        san = self.sim.sanitizer
+        if san is not None:
+            # SAN002: the free list rejects double-frees. SAN003: the
+            # periodic audit re-sums core power against the fixed-point
+            # accumulator. Both only exist under REPRO_SANITIZE, so the
+            # unsanitized hot path keeps the plain list and zero audits.
+            self._request_pool = _sanitizer.CheckedFreeList()
+            san.add_audit(self._audit_package_power)
         self._pool_append = self._request_pool.append
         self._turbo = self.package.turbo
+
+    def _audit_package_power(self) -> None:
+        """SAN003 deep audit: fixed-point accumulator vs full re-sum.
+
+        The accumulator is exact (integer deltas in 2**-80 W units), so
+        the tolerance only covers the float summation order of the
+        reference sum — any real dropped or double-counted delta is
+        orders of magnitude above it.
+        """
+        reference = 0.0
+        for core in self.package.cores:
+            reference += core.current_power
+        incremental = self.package._core_power_int * _INV_POWER_SCALE
+        bound = 1e-9 * max(1.0, abs(reference))
+        if abs(incremental - reference) > bound:
+            raise _sanitizer.violation(
+                "SAN003", "uarch.package",
+                f"incremental core power {incremental!r} W differs from "
+                f"the re-summed reference {reference!r} W beyond the "
+                f"documented bound ({bound:.3e} W): a power delta was "
+                "dropped or double-counted",
+            )
 
     # -- wiring ------------------------------------------------------------
     def _schedule_arrivals(self) -> None:

@@ -32,6 +32,7 @@ import math
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.simkit import sanitizer as _sanitizer
 
 EventCallback = Callable[[], Any]
 
@@ -101,6 +102,12 @@ class Simulator:
         self._running = False
         self._events_processed = 0
         self._peak_pending = 0
+        #: Runtime sanitizer hook. None unless REPRO_SANITIZE was on at
+        #: construction; components register deep audits on it and
+        #: ``run()`` dispatches to the checked twin loop when present.
+        self.sanitizer: Optional[_sanitizer.SimSanitizer] = (
+            _sanitizer.SimSanitizer() if _sanitizer.is_enabled() else None
+        )
 
     # -- clock ---------------------------------------------------------------
     @property
@@ -220,6 +227,9 @@ class Simulator:
         even if the last event fires earlier, so residency accounting that
         closes out at ``sim.now`` covers the full horizon.
         """
+        if self.sanitizer is not None:
+            self._run_checked(until, max_events)
+            return
         if self._running:
             raise SimulationError("simulator is not re-entrant")
         self._running = True
@@ -256,6 +266,85 @@ class Simulator:
             self._running = False
         if until is not None and self.now < until:
             self.now = until
+
+    def _run_checked(
+        self, until: Optional[float], max_events: Optional[int]
+    ) -> None:
+        """The sanitized twin of :meth:`run` (SAN001 + deep audits).
+
+        Kept as a separate loop so the unchecked hot path stays exactly
+        as fast; event execution order, clock updates and counters are
+        identical, so a run that raises no violation is bit-identical to
+        an unsanitized run. Per pop it verifies strictly increasing
+        ``(time, seq)`` heap order (which subsumes monotonic event time
+        and unique sequence numbers), that the sequence number was
+        actually issued by this simulator's counter, and that no event
+        fires behind the clock — the check the fast loop deliberately
+        omits. ``(last_time, last_seq)`` reset per call: a past-the-bound
+        entry pushed back here is legitimately re-popped by the next run.
+        """
+        san = self.sanitizer
+        assert san is not None
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        queue = self._queue
+        heappop = heapq.heappop
+        event_class = Event
+        until_t = math.inf if until is None else until
+        budget = math.inf if max_events is None else max_events
+        executed = 0
+        last_time = -math.inf
+        last_seq = -1
+        try:
+            while queue:
+                entry = heappop(queue)
+                time = entry[0]
+                seq = entry[1]
+                if time < last_time or (
+                    time == last_time and seq <= last_seq
+                ):
+                    raise _sanitizer.violation(
+                        "SAN001", "simkit.engine",
+                        f"heap yielded (t={time!r}, seq={seq}) after "
+                        f"(t={last_time!r}, seq={last_seq}): heap order "
+                        "corrupted (non-monotonic event time or "
+                        "duplicate sequence)",
+                    )
+                if seq < 0 or seq >= self._seq:
+                    raise _sanitizer.violation(
+                        "SAN001", "simkit.engine",
+                        f"popped sequence number {seq} was never issued "
+                        f"(counter at {self._seq}): the heap was "
+                        "tampered with outside the scheduling API",
+                    )
+                if time < self.now:
+                    raise _sanitizer.violation(
+                        "SAN001", "simkit.engine",
+                        f"event at t={time!r} fires behind the clock "
+                        f"(now={self.now!r}): executing it would move "
+                        "simulation time backwards",
+                    )
+                payload = entry[2]
+                if payload.__class__ is event_class:
+                    if payload.cancelled:
+                        continue
+                    payload = payload.callback
+                if time > until_t or executed >= budget:
+                    heapq.heappush(queue, entry)
+                    break
+                last_time = time
+                last_seq = seq
+                self.now = time
+                executed += 1
+                self._events_processed += 1
+                payload()
+                san.tick()
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+        san.flush()
 
     def drain(self) -> None:
         """Discard all pending events without executing them."""

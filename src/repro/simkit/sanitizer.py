@@ -1,0 +1,203 @@
+"""Runtime sim-sanitizer: cheap always-on asserts + periodic deep audits.
+
+Static analysis (:mod:`repro.analyze`) proves what an AST can prove;
+this module checks the invariants only a *running* simulation exposes.
+Enable with ``REPRO_SANITIZE=1`` in the environment or ``repro
+run/sweep --sanitize`` (the flag exports the env var, so pool workers
+inherit it under both fork and spawn). When enabled:
+
+- **SAN001** — the engine runs its checked twin loop: every popped heap
+  entry must come in strictly increasing ``(time, seq)`` order, carry a
+  sequence number the counter actually issued, and never fire behind
+  the clock. The fast loop checks none of this (``step()`` does, the
+  hot ``run()`` loop deliberately does not), so a corrupted timestamp
+  silently drags the clock backwards — exactly the bug class this
+  catches.
+- **SAN002** — :class:`~repro.server.node.ServerNode` recycles
+  ``_Request`` objects through a :class:`CheckedFreeList` that rejects
+  double-frees: a request returned to the pool while already free is
+  reachable from two owners and will corrupt an in-flight request when
+  reused.
+- **SAN003** — every :data:`AUDIT_INTERVAL` executed events (and once at
+  end of run) the package's O(1) fixed-point core-power accumulator is
+  re-summed against the per-core powers. The accumulator is exact
+  (integer deltas in 2**-80 W units), so the tolerance covers only the
+  float summation order of the *reference*, never accumulated drift.
+- **SAN004** — every :meth:`~repro.store.result_store.ResultStore.put`
+  round-trips the encoded row through the codec and compares canonical
+  JSON; a truncating or lossy codec fails on the very write that would
+  have corrupted the store.
+- **SAN005** — :func:`~repro.cluster.sharding.merge_node_results`
+  spot-checks merge order-invariance: integer observables (completions,
+  latency sample counts) must be conserved exactly, float re-sums in
+  reversed node order must agree within the documented bound.
+
+Violations raise :class:`SanitizerError`, which carries a structured
+:class:`~repro.analyze.findings.Finding` so runtime and static results
+render identically; a runtime finding's path names the checked
+component (``runtime:<component>``) instead of a file.
+
+Disabled (the default), the only cost is one :func:`is_enabled` read
+per ``Simulator``/``ServerNode`` construction and per store write — the
+hot loop is untouched.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Set
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:
+    from repro.analyze.findings import Finding
+
+__all__ = [
+    "AUDIT_INTERVAL",
+    "ENV_VAR",
+    "CheckedFreeList",
+    "SanitizerError",
+    "SimSanitizer",
+    "enabled",
+    "is_enabled",
+    "violation",
+]
+
+ENV_VAR = "REPRO_SANITIZE"
+
+#: Executed events between deep audits. Amortises the O(cores) power
+#: re-sum to a constant per event; tests shrink it to force audits.
+AUDIT_INTERVAL = 4096
+
+#: Session override; None defers to the environment variable.
+_enabled: Optional[bool] = None
+
+
+def is_enabled() -> bool:
+    """Whether sanitizer checks are active for new simulations."""
+    if _enabled is not None:
+        return _enabled
+    return os.environ.get(ENV_VAR, "0") not in ("", "0")
+
+
+@contextmanager
+def enabled(on: bool = True) -> Iterator[None]:
+    """Enable (or force off) the sanitizer for a scope.
+
+    Sets both the in-process flag and ``REPRO_SANITIZE`` in the
+    environment — worker processes spawned inside the scope inherit the
+    setting — and restores both on exit.
+    """
+    global _enabled
+    previous_flag = _enabled
+    previous_env = os.environ.get(ENV_VAR)
+    _enabled = on
+    os.environ[ENV_VAR] = "1" if on else "0"
+    try:
+        yield
+    finally:
+        _enabled = previous_flag
+        if previous_env is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = previous_env
+
+
+class SanitizerError(SimulationError):
+    """A sanitizer invariant failed; carries the structured finding."""
+
+    def __init__(self, finding: "Finding") -> None:
+        self.finding = finding
+        super().__init__(
+            f"{finding.anchor}: {finding.rule_id} {finding.message}"
+        )
+
+
+def violation(rule_id: str, component: str, message: str) -> SanitizerError:
+    """Build a :class:`SanitizerError` wrapping a runtime ``Finding``.
+
+    The Finding import is deferred so ``import repro.simkit`` does not
+    drag in the whole analyzer; a violation is already the slow path.
+    """
+    from repro.analyze.findings import Finding
+
+    return SanitizerError(
+        Finding(
+            path=f"runtime:{component}",
+            line=0,
+            col=0,
+            rule_id=rule_id,
+            message=message,
+        )
+    )
+
+
+class SimSanitizer:
+    """Per-simulator audit registry driven by the checked run loop.
+
+    The engine calls :meth:`tick` once per executed event; every
+    :data:`AUDIT_INTERVAL` ticks (and at :meth:`flush`, called when a
+    ``run()`` returns) the registered deep audits execute. Audits are
+    plain callables that raise :class:`SanitizerError` on violation and
+    must not mutate simulation state — they run *between* events on the
+    shared clock, so any side effect would break bit-identity with an
+    unsanitized run.
+    """
+
+    __slots__ = ("audits", "_interval", "_countdown")
+
+    def __init__(self, interval: Optional[int] = None) -> None:
+        self.audits: List[Callable[[], None]] = []
+        self._interval = AUDIT_INTERVAL if interval is None else interval
+        self._countdown = self._interval
+
+    def add_audit(self, audit: Callable[[], None]) -> None:
+        self.audits.append(audit)
+
+    def tick(self) -> None:
+        self._countdown -= 1
+        if self._countdown <= 0:
+            self._countdown = self._interval
+            self.flush()
+
+    def flush(self) -> None:
+        for audit in self.audits:
+            audit()
+
+
+class CheckedFreeList(list):
+    """A free list that catches double-frees (SAN002).
+
+    Drop-in for the plain list :class:`~repro.server.node.ServerNode`
+    recycles ``_Request`` objects through: ``append`` (free) rejects an
+    object that is already in the pool — i.e. reachable from two owners,
+    about to be handed out twice and corrupted mid-flight — and ``pop``
+    (allocate) releases it again. Membership is tracked by object
+    identity; identity never orders anything or reaches any result, it
+    only distinguishes "already free" from "in flight".
+    """
+
+    __slots__ = ("_free",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._free: Set[int] = set()
+
+    def append(self, item: object) -> None:
+        key = id(item)  # repro: allow[DET006] identity keys a membership check only; never ordering, never observable
+        if key in self._free:
+            raise violation(
+                "SAN002",
+                "server.node",
+                "request returned to the free list while already free: "
+                "double-free in the _Request recycling path would hand "
+                "one object to two in-flight requests",
+            )
+        self._free.add(key)
+        super().append(item)
+
+    def pop(self, index: int = -1) -> object:
+        item = super().pop(index)
+        self._free.discard(id(item))  # repro: allow[DET006] identity keys a membership check only; never ordering, never observable
+        return item

@@ -34,6 +34,7 @@ from typing import Iterator, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.server.metrics import RunResult
+from repro.simkit import sanitizer as _sanitizer
 from repro.store.serialize import result_from_dict, result_to_dict
 
 #: Database filename inside the cache directory.
@@ -53,6 +54,33 @@ CREATE TABLE IF NOT EXISTS results (
 #: Fixed per-row sqlite overhead estimate used by :meth:`ResultStore.prune_lru`
 #: on top of the measured payload text (b-tree cell, rowid, column headers).
 _ROW_OVERHEAD_BYTES = 128
+
+
+def _audit_codec_roundtrip(payload: str) -> None:
+    """SAN004 deep audit: every stored row must round-trip the codec.
+
+    Decodes the exact payload about to be written and re-encodes it; the
+    two canonical JSON strings must match byte-for-byte. Comparing
+    encode(decode(payload)) with the payload catches truncating or lossy
+    codecs even when the defect is in *encode* — a truncating encoder
+    truncates again on the second pass, and the decoded intermediate no
+    longer reproduces the original.
+    """
+    try:
+        decoded = result_from_dict(json.loads(payload))
+        again = json.dumps(result_to_dict(decoded), separators=(",", ":"))
+    except (ConfigurationError, json.JSONDecodeError, TypeError) as exc:
+        raise _sanitizer.violation(
+            "SAN004", "store.serialize",
+            f"store codec cannot decode the row it just encoded: {exc}",
+        ) from exc
+    if again != payload:
+        raise _sanitizer.violation(
+            "SAN004", "store.serialize",
+            "store codec round-trip is lossy: re-encoding the decoded "
+            "row changed the payload (a field is truncated, dropped, or "
+            "decoded inexactly)",
+        )
 
 
 def default_store_dir() -> str:
@@ -203,6 +231,9 @@ class ResultStore:
         spec_json = None
         if spec is not None:
             spec_json = json.dumps(spec.to_dict(), separators=(",", ":"))
+        payload = json.dumps(result_to_dict(result), separators=(",", ":"))
+        if _sanitizer.is_enabled():
+            _audit_codec_roundtrip(payload)
         now = time.time()
         with self._connect() as conn:
             conn.execute(
@@ -213,7 +244,7 @@ class ResultStore:
                     self._digest(key),
                     self.salt,
                     spec_json,
-                    json.dumps(result_to_dict(result), separators=(",", ":")),
+                    payload,
                     now,
                     now,
                 ),
@@ -227,17 +258,23 @@ class ResultStore:
         sweeps; semantics per row match :meth:`put` (last writer wins).
         """
         now = time.time()
+        sanitize = _sanitizer.is_enabled()
         rows = []
         for key, result, spec in items:
             spec_json = None
             if spec is not None:
                 spec_json = json.dumps(spec.to_dict(), separators=(",", ":"))
+            payload = json.dumps(
+                result_to_dict(result), separators=(",", ":")
+            )
+            if sanitize:
+                _audit_codec_roundtrip(payload)
             rows.append(
                 (
                     self._digest(key),
                     self.salt,
                     spec_json,
-                    json.dumps(result_to_dict(result), separators=(",", ":")),
+                    payload,
                     now,
                     now,
                 )

@@ -8,6 +8,7 @@ gets package ``cluster`` and is subject to the DET series, while
 """
 
 import json
+import os
 import shutil
 
 import pytest
@@ -524,3 +525,75 @@ def test_injected_random_in_cluster_fails_lint(tmp_path):
     assert rule_ids(result.findings) == ["DET001"]
     assert result.findings[0].anchor.startswith(target.replace("\\", "/")[:20])
     assert result.findings[0].line > 1
+
+
+# -- repo-relative finding paths --------------------------------------------
+def test_display_path_is_cwd_independent(tmp_path, monkeypatch):
+    """Findings on repo files anchor repo-relative from any cwd, so the
+    committed baseline matches no matter where lint runs."""
+    from repro.analyze.paths import REPO_ROOT, display_path
+
+    target = os.path.join(REPO_ROOT, "src", "repro", "cli.py")
+    at_root = display_path(target)
+    monkeypatch.chdir(tmp_path)
+    assert display_path(target) == at_root == "src/repro/cli.py"
+    # Non-repo files keep the old cwd-relative behavior.
+    outside = tmp_path / "fixture.py"
+    outside.write_text("X = 1\n")
+    assert display_path(str(outside)) == "fixture.py"
+
+
+# -- lint --fix-stale --------------------------------------------------------
+def test_fix_stale_removes_comment_only_clause(tmp_path):
+    from repro.analyze import fix_stale_suppressions
+
+    path = write_module(
+        tmp_path, "cluster/x.py",
+        "X = 1  # repro: allow[DET001] nothing here triggers DET001\nY = 2\n",
+    )
+    result = run_lint([path])
+    assert rule_ids(result.findings) == ["ANA003"]
+    assert fix_stale_suppressions([path]) == 1
+    assert open(path).read() == "X = 1\nY = 2\n"
+    assert run_lint([path]).findings == []
+
+
+def test_fix_stale_keeps_live_clause(tmp_path):
+    from repro.analyze import fix_stale_suppressions
+
+    path = write_module(
+        tmp_path, "cluster/x.py",
+        "import random\n\ndef pick(xs):\n"
+        "    return random.choice(xs)"
+        "  # repro: allow[DET001] fixture -- allow[DET002] stale\n",
+    )
+    assert rule_ids(run_lint([path]).findings) == ["ANA003"]
+    assert fix_stale_suppressions([path]) == 1
+    source = open(path).read()
+    assert "allow[DET001] fixture" in source
+    assert "DET002" not in source
+    result = run_lint([path])
+    assert result.findings == []
+    assert rule_ids(result.suppressed) == ["DET001"]
+
+
+def test_fix_stale_deletes_comment_only_line(tmp_path):
+    from repro.analyze import fix_stale_suppressions
+
+    path = write_module(
+        tmp_path, "cluster/x.py",
+        "X = 1\n# repro: allow[DET003] whole line is stale\nY = 2\n",
+    )
+    assert fix_stale_suppressions([path]) == 1
+    assert open(path).read() == "X = 1\nY = 2\n"
+
+
+def test_cli_lint_fix_stale(tmp_path, capsys):
+    path = write_module(
+        tmp_path, "cluster/x.py",
+        "X = 1  # repro: allow[DET001] stale\n",
+    )
+    assert main(["lint", "--fix-stale", str(tmp_path)]) == 0
+    assert "removed 1 stale suppression clause(s)" in capsys.readouterr().out
+    assert open(path).read() == "X = 1\n"
+    assert main(["lint", str(tmp_path), "--no-baseline"]) == 0

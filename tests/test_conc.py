@@ -1,0 +1,364 @@
+"""Tests for the CONC-series process-boundary analysis.
+
+Fixture modules live under ``<tmp>/repro/<package>/...`` like the rest
+of the analyzer tests, so :mod:`repro.analyze.callgraph` resolves their
+dotted names (``repro.sweep.driver`` ...) exactly like real simulation
+code and cross-module from-imports link up.
+"""
+
+import os
+import shutil
+
+from repro.analyze import run_conc_checks, run_lint, rule_catalog
+from repro.analyze.callgraph import CallGraph
+from repro.analyze.engine import discover_files
+
+REPO_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src", "repro"
+)
+REAL_RUNNER = os.path.join(REPO_SRC, "sweep", "runner.py")
+
+
+def write_module(tmp_path, rel, source):
+    path = tmp_path / "repro" / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return str(path)
+
+
+def conc_one(tmp_path, rel, source):
+    return run_conc_checks([write_module(tmp_path, rel, source)])
+
+
+def rule_ids(findings):
+    return sorted(f.rule_id for f in findings)
+
+
+# -- catalog ----------------------------------------------------------------
+def test_conc_rules_registered():
+    ids = {rule_id for rule_id, _, _ in rule_catalog()}
+    assert {"CONC001", "CONC002", "CONC003", "CONC004"} <= ids
+
+
+# -- CONC001: unpicklable callables and captures ----------------------------
+def test_conc001_lambda_submit(tmp_path):
+    findings = conc_one(
+        tmp_path, "sweep/driver.py",
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "\n"
+        "def parent():\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        pool.submit(lambda: 1)\n",
+    )
+    assert rule_ids(findings) == ["CONC001"]
+    assert findings[0].line == 5
+    assert "lambda" in findings[0].message
+
+
+def test_conc001_locally_defined_function(tmp_path):
+    findings = conc_one(
+        tmp_path, "sweep/driver.py",
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "\n"
+        "def parent():\n"
+        "    def work():\n"
+        "        return 1\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        pool.submit(work)\n",
+    )
+    assert rule_ids(findings) == ["CONC001"]
+    assert "locally defined function 'work'" in findings[0].message
+
+
+def test_conc001_threading_lock_argument(tmp_path):
+    findings = conc_one(
+        tmp_path, "sweep/driver.py",
+        "import threading\n"
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "\n"
+        "def work(lock):\n"
+        "    pass\n"
+        "\n"
+        "def parent():\n"
+        "    lock = threading.Lock()\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        pool.submit(work, lock)\n",
+    )
+    assert rule_ids(findings) == ["CONC001"]
+    assert "threading.Lock" in findings[0].message
+
+
+def test_conc001_process_target_lambda(tmp_path):
+    findings = conc_one(
+        tmp_path, "sweep/driver.py",
+        "import multiprocessing\n"
+        "\n"
+        "def parent():\n"
+        "    p = multiprocessing.Process(target=lambda: 1)\n"
+        "    p.start()\n",
+    )
+    assert rule_ids(findings) == ["CONC001"]
+    assert "multiprocessing.Process" in findings[0].message
+
+
+def test_conc001_map_only_on_pool_receivers(tmp_path):
+    # .map on a pool-bound name is a boundary; .map on anything else
+    # (pandas-style) is not.
+    findings = conc_one(
+        tmp_path, "sweep/driver.py",
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "\n"
+        "def parent(xs, series):\n"
+        "    series.map(lambda x: x)\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        pool.map(lambda x: x, xs)\n",
+    )
+    assert rule_ids(findings) == ["CONC001"]
+    assert findings[0].line == 6
+
+
+def test_conc001_clean_module_level_function(tmp_path):
+    findings = conc_one(
+        tmp_path, "sweep/driver.py",
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "\n"
+        "def work(seed):\n"
+        "    return seed * 2\n"
+        "\n"
+        "def parent(seeds):\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        return [pool.submit(work, s) for s in seeds]\n",
+    )
+    assert findings == []
+
+
+# -- CONC002: worker-written, parent-read module globals --------------------
+def test_conc002_worker_write_parent_read(tmp_path):
+    findings = conc_one(
+        tmp_path, "sweep/driver.py",
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "\n"
+        "RESULTS = []\n"
+        "\n"
+        "def work(x):\n"
+        "    RESULTS.append(x)\n"
+        "\n"
+        "def parent(xs):\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        for x in xs:\n"
+        "            pool.submit(work, x)\n"
+        "    return RESULTS\n",
+    )
+    assert rule_ids(findings) == ["CONC002"]
+    assert findings[0].line == 6  # anchored at the worker-side write
+    assert "'RESULTS'" in findings[0].message
+
+
+def test_conc002_parent_write_worker_read_is_fine(tmp_path):
+    # The warm-cache direction: the parent populates before the fork,
+    # workers only read. Legitimate and unflagged.
+    findings = conc_one(
+        tmp_path, "sweep/driver.py",
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "\n"
+        "CACHE = {}\n"
+        "\n"
+        "def work(x):\n"
+        "    return CACHE.get(x)\n"
+        "\n"
+        "def parent(xs):\n"
+        "    CACHE[0] = 'warm'\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        for x in xs:\n"
+        "            pool.submit(work, x)\n",
+    )
+    assert findings == []
+
+
+def test_conc002_cross_module_reachability(tmp_path):
+    # The write happens two modules away from the submit: driver submits
+    # work, work calls helpers.record, record writes helpers.SEEN which
+    # helpers.report (parent-side) reads.
+    write_module(
+        tmp_path, "sweep/helpers.py",
+        "SEEN = []\n"
+        "\n"
+        "def record(x):\n"
+        "    SEEN.append(x)\n"
+        "\n"
+        "def report():\n"
+        "    return list(SEEN)\n",
+    )
+    driver = write_module(
+        tmp_path, "sweep/driver.py",
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "\n"
+        "from repro.sweep.helpers import record\n"
+        "\n"
+        "def work(x):\n"
+        "    record(x)\n"
+        "\n"
+        "def parent(xs):\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        for x in xs:\n"
+        "            pool.submit(work, x)\n",
+    )
+    findings = run_conc_checks(
+        [driver, str(tmp_path / "repro" / "sweep" / "helpers.py")]
+    )
+    assert rule_ids(findings) == ["CONC002"]
+    assert findings[0].path.endswith("helpers.py")
+    assert findings[0].line == 4
+
+
+# -- CONC003: RNG / Simulator across the fork -------------------------------
+def test_conc003_module_rng_used_both_sides(tmp_path):
+    findings = conc_one(
+        tmp_path, "sweep/driver.py",
+        "import random\n"
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "\n"
+        "RNG = random.Random(42)\n"
+        "\n"
+        "def work(x):\n"
+        "    return x + RNG.random()\n"
+        "\n"
+        "def parent():\n"
+        "    base = RNG.random()\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        pool.submit(work, base)\n",
+    )
+    assert rule_ids(findings) == ["CONC003"]
+    assert findings[0].line == 4  # anchored at the shared binding
+
+
+def test_conc003_rng_as_submit_argument(tmp_path):
+    findings = conc_one(
+        tmp_path, "sweep/driver.py",
+        "import random\n"
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "\n"
+        "def work(rng):\n"
+        "    return rng.random()\n"
+        "\n"
+        "def parent():\n"
+        "    rng = random.Random(7)\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        pool.submit(work, rng)\n",
+    )
+    assert rule_ids(findings) == ["CONC003"]
+    assert "random.Random" in findings[0].message
+
+
+def test_conc003_passing_seed_is_fine(tmp_path):
+    findings = conc_one(
+        tmp_path, "sweep/driver.py",
+        "import random\n"
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "\n"
+        "def work(seed):\n"
+        "    return random.Random(seed).random()\n"
+        "\n"
+        "def parent(seed):\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        pool.submit(work, seed)\n",
+    )
+    assert findings == []
+
+
+# -- CONC004: parent-only imports in worker-reachable code ------------------
+def test_conc004_function_level_import(tmp_path):
+    findings = conc_one(
+        tmp_path, "sweep/driver.py",
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "\n"
+        "def work(x):\n"
+        "    import argparse\n"
+        "    return x\n"
+        "\n"
+        "def parent(x):\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        pool.submit(work, x)\n",
+    )
+    assert rule_ids(findings) == ["CONC004"]
+    assert findings[0].line == 4
+    assert "'argparse'" in findings[0].message
+
+
+def test_conc004_entry_module_import_time(tmp_path):
+    findings = conc_one(
+        tmp_path, "sweep/driver.py",
+        "import argparse\n"
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "\n"
+        "def work(x):\n"
+        "    return x\n"
+        "\n"
+        "def parent(x):\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        pool.submit(work, x)\n",
+    )
+    assert rule_ids(findings) == ["CONC004"]
+    assert findings[0].line == 1
+    assert "import time" in findings[0].message
+
+
+def test_conc004_parent_side_import_is_fine(tmp_path):
+    findings = conc_one(
+        tmp_path, "cluster/driver.py",
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "\n"
+        "def work(x):\n"
+        "    return x\n"
+        "\n"
+        "def parent(x):\n"
+        "    import argparse  # parent-side: never crosses the boundary\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        pool.submit(work, x)\n",
+    )
+    assert findings == []
+
+
+# -- engine integration ------------------------------------------------------
+def test_conc_findings_respect_suppressions(tmp_path):
+    path = write_module(
+        tmp_path, "sweep/driver.py",
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "\n"
+        "def parent():\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        pool.submit(lambda: 1)"
+        "  # repro: allow[CONC001] fixture exercising the suppressor\n",
+    )
+    result = run_lint([path], project_checks=True)
+    assert [f.rule_id for f in result.findings] == []
+    assert [f.rule_id for f in result.suppressed] == ["CONC001"]
+
+
+def test_real_tree_is_conc_clean():
+    """Every real submission boundary (sweep runner, sharding, the
+    analyzer's own pool) passes its own analysis."""
+    files = discover_files([REPO_SRC])
+    graph = CallGraph(files)
+    # The analysis saw the real boundaries, it didn't vacuously pass.
+    apis = sorted(site.api for site in graph.sites)
+    assert "process" in apis and "submit" in apis and "map" in apis
+    assert run_conc_checks(files) == []
+
+
+def test_injected_lambda_fails_lint_with_anchor(tmp_path):
+    """Acceptance: a lambda submission injected into the *real* sweep
+    runner is caught, anchored to its exact file:line."""
+    copy = tmp_path / "repro" / "sweep" / "runner.py"
+    copy.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copy(REAL_RUNNER, copy)
+    with open(copy, "a") as handle:
+        handle.write(
+            "\n\ndef _injected(pool, spec):\n"
+            "    return pool.submit(lambda: spec)\n"
+        )
+    bad_line = len(open(copy).read().splitlines())
+    findings = run_conc_checks([str(copy)])
+    assert [f.rule_id for f in findings] == ["CONC001"]
+    assert findings[0].line == bad_line
+    assert findings[0].anchor.endswith(f"runner.py:{bad_line}:23")

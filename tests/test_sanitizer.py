@@ -1,0 +1,295 @@
+"""Fault-injection tests for the runtime sim-sanitizer (SAN rules).
+
+Every test controls sanitizer state explicitly — through
+:func:`repro.simkit.sanitizer.enabled` or monkeypatching — because the
+CI sanitizer job runs this suite with ``REPRO_SANITIZE=1`` already
+exported: tests must pass with the sanitizer on *or* off in the
+environment. Each injected fault comes with the companion assertion
+that matters: the same corruption is silent (or the same workload is
+bit-identical) without the sanitizer.
+"""
+
+import dataclasses
+import heapq
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from golden_specs import GOLDEN_SPECS, digest_result, spec_label  # noqa: E402
+
+from repro.cluster import sharding
+from repro.cluster.sharding import merge_node_results, run_shard
+from repro.server import ServerNode, named_configuration
+from repro.simkit import sanitizer
+from repro.simkit.engine import Event, Simulator
+from repro.simkit.sanitizer import CheckedFreeList, SanitizerError
+from repro.store import ResultStore
+from repro.store import result_store
+from repro.sweep import ScenarioSpec
+from repro.workloads import memcached_workload
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_digests.json")
+
+
+def make_node(**kwargs):
+    return ServerNode(
+        memcached_workload(),
+        named_configuration(kwargs.pop("config", "baseline")),
+        qps=kwargs.pop("qps", 120_000),
+        horizon=kwargs.pop("horizon", 0.01),
+        seed=kwargs.pop("seed", 42),
+        **kwargs,
+    )
+
+
+def sanitized_sim():
+    with sanitizer.enabled():
+        return Simulator()
+
+
+# -- enablement -------------------------------------------------------------
+def test_disabled_by_default(monkeypatch):
+    monkeypatch.setattr(sanitizer, "_enabled", None)
+    monkeypatch.delenv(sanitizer.ENV_VAR, raising=False)
+    assert not sanitizer.is_enabled()
+    assert Simulator().sanitizer is None
+
+
+def test_env_var_enables(monkeypatch):
+    monkeypatch.setattr(sanitizer, "_enabled", None)
+    monkeypatch.setenv(sanitizer.ENV_VAR, "1")
+    assert sanitizer.is_enabled()
+    assert Simulator().sanitizer is not None
+
+
+def test_enabled_scope_restores_state(monkeypatch):
+    monkeypatch.setattr(sanitizer, "_enabled", None)
+    monkeypatch.delenv(sanitizer.ENV_VAR, raising=False)
+    with sanitizer.enabled():
+        assert sanitizer.is_enabled()
+        assert os.environ[sanitizer.ENV_VAR] == "1"  # workers inherit
+    assert not sanitizer.is_enabled()
+    assert sanitizer.ENV_VAR not in os.environ
+
+
+# -- SAN001: checked engine loop --------------------------------------------
+def corrupt_with_past_event(sim, fired):
+    """Advance the clock past t=1, then smuggle a t=0.5 entry into the
+    heap with a legitimately issued (already executed) sequence number —
+    exactly what a buggy component corrupting the queue would produce."""
+    sim.schedule_at(1.0, lambda: fired.append(sim.now))
+    sim.run()
+    heapq.heappush(sim._queue, (0.5, 0, lambda: fired.append(sim.now)))
+
+
+def test_san001_event_behind_clock():
+    sim = sanitized_sim()
+    fired = []
+    corrupt_with_past_event(sim, fired)
+    with pytest.raises(SanitizerError) as err:
+        sim.run()
+    assert err.value.finding.rule_id == "SAN001"
+    assert "behind the clock" in err.value.finding.message
+
+
+def test_corrupted_timestamp_is_silent_without_sanitizer():
+    """The hot loop deliberately omits the past-time check: the same
+    corruption drags the clock backwards without a peep."""
+    with sanitizer.enabled(False):
+        sim = Simulator()
+    assert sim.sanitizer is None
+    fired = []
+    corrupt_with_past_event(sim, fired)
+    sim.run()  # no exception ...
+    assert fired == [1.0, 0.5]  # ... and time ran backwards
+
+
+def test_san001_unissued_sequence_number():
+    sim = sanitized_sim()
+    sim.schedule_at(1.0, lambda: None)
+    heapq.heappush(sim._queue, (2.0, 999_999, lambda: None))
+    with pytest.raises(SanitizerError) as err:
+        sim.run()
+    assert err.value.finding.rule_id == "SAN001"
+    assert "never issued" in err.value.finding.message
+
+
+def test_san001_duplicate_sequence_number():
+    sim = sanitized_sim()
+    first = sim.schedule_at(1.0, lambda: None)
+    forged = Event(1.0, first.seq, lambda: None)
+    heapq.heappush(sim._queue, (forged.time, forged.seq, forged))
+    with pytest.raises(SanitizerError) as err:
+        sim.run()
+    assert err.value.finding.rule_id == "SAN001"
+    assert "heap order corrupted" in err.value.finding.message
+
+
+def test_checked_loop_clean_run_matches_unchecked():
+    """Same schedule, sanitizer on vs off: identical firing order,
+    clock, and counters."""
+    def exercise(sim):
+        fired = []
+        sim.schedule_at(2.0, lambda: fired.append((sim.now, "b")))
+        sim.schedule_at(1.0, lambda: fired.append((sim.now, "a")))
+        event = sim.schedule_at(1.5, lambda: fired.append((sim.now, "x")))
+        event.cancel()
+        sim.schedule_at(3.0, lambda: fired.append((sim.now, "c")))
+        sim.run(until=2.5)
+        sim.run()
+        return fired, sim.now, sim.events_processed, sim.peak_pending_events
+
+    assert exercise(sanitized_sim()) == exercise(Simulator())
+
+
+# -- SAN002: free-list double-free ------------------------------------------
+def test_san002_double_free_rejected():
+    pool = CheckedFreeList()
+    request = object()
+    pool.append(request)
+    with pytest.raises(SanitizerError) as err:
+        pool.append(request)
+    assert err.value.finding.rule_id == "SAN002"
+
+
+def test_san002_recycle_cycle_is_fine():
+    pool = CheckedFreeList()
+    request = object()
+    for _ in range(3):  # free -> alloc -> free is the normal lifecycle
+        pool.append(request)
+        assert pool.pop() is request
+    pool.append(object())
+    pool.append(request)
+    assert len(pool) == 2
+
+
+# -- SAN003: package power accumulator audit --------------------------------
+def test_san003_dropped_power_delta_detected(monkeypatch):
+    monkeypatch.setattr(sanitizer, "AUDIT_INTERVAL", 64)
+    with sanitizer.enabled():
+        node = make_node()
+    assert isinstance(node._request_pool, CheckedFreeList)
+
+    def drop_delta():  # lose 2**-5 W from the fixed-point accumulator
+        node.package._core_power_int -= 1 << 75
+
+    node.sim.schedule_at(0.002, drop_delta)
+    with pytest.raises(SanitizerError) as err:
+        node.run()
+    assert err.value.finding.rule_id == "SAN003"
+
+
+def test_san003_dropped_power_delta_silent_without_sanitizer():
+    with sanitizer.enabled(False):
+        node = make_node()
+    tampered = {}
+
+    def drop_delta():
+        node.package._core_power_int -= 1 << 75
+        tampered["done"] = True
+
+    node.sim.schedule_at(0.002, drop_delta)
+    node.run()  # completes quietly with corrupted power accounting
+    assert tampered["done"]
+
+
+def test_san003_clean_run_passes_audits(monkeypatch):
+    monkeypatch.setattr(sanitizer, "AUDIT_INTERVAL", 64)
+    with sanitizer.enabled():
+        node = make_node()
+    node.run()  # hundreds of audits, zero violations
+
+
+# -- SAN004: store codec round-trip -----------------------------------------
+@pytest.fixture
+def small_point():
+    spec = ScenarioSpec("memcached", "baseline", qps=50_000, horizon=0.005)
+    return spec, spec.execute()
+
+
+def test_san004_faithful_codec_passes(tmp_path, small_point):
+    spec, result = small_point
+    store = ResultStore(tmp_path, salt="s1")
+    with sanitizer.enabled():
+        store.put(spec.cache_key, result, spec=spec)
+    assert digest_result(store.get(spec.cache_key)) == digest_result(result)
+
+
+def test_san004_truncating_codec_detected(tmp_path, small_point, monkeypatch):
+    spec, result = small_point
+    faithful = result_store.result_from_dict
+
+    def truncating(payload_dict):
+        decoded = faithful(payload_dict)
+        return dataclasses.replace(decoded, completed=0)
+
+    monkeypatch.setattr(result_store, "result_from_dict", truncating)
+    store = ResultStore(tmp_path, salt="s1")
+    with sanitizer.enabled():
+        with pytest.raises(SanitizerError) as err:
+            store.put(spec.cache_key, result, spec=spec)
+    assert err.value.finding.rule_id == "SAN004"
+    # Without the sanitizer the same write lands, silently poisoned.
+    with sanitizer.enabled(False):
+        store.put(spec.cache_key, result, spec=spec)
+
+
+# -- SAN005: shard-merge order-invariance -----------------------------------
+@pytest.fixture(scope="module")
+def merged_cluster():
+    spec = ScenarioSpec(
+        "memcached", "baseline", qps=100_000, horizon=0.005, nodes=2
+    )
+    per_node = run_shard(spec, 0, 1) + run_shard(spec, 1, 2)
+    return spec, per_node
+
+
+def test_san005_clean_merge_passes(merged_cluster):
+    spec, per_node = merged_cluster
+    with sanitizer.enabled():
+        merged = merge_node_results(spec, per_node)
+    assert merged.completed == sum(r.completed for r in per_node)
+
+
+def test_san005_dropped_node_detected(merged_cluster):
+    spec, per_node = merged_cluster
+    merged = merge_node_results(spec, per_node)
+    tampered = dataclasses.replace(merged, completed=merged.completed - 1)
+    with pytest.raises(SanitizerError) as err:
+        sharding._audit_merge(per_node, tampered)
+    assert err.value.finding.rule_id == "SAN005"
+    assert "dropped or duplicated" in err.value.finding.message
+
+
+def test_san005_lossy_latency_merge_detected(merged_cluster):
+    spec, per_node = merged_cluster
+    merged = merge_node_results(spec, per_node)
+    tampered = dataclasses.replace(
+        merged, server_latency=per_node[0].server_latency
+    )
+    with pytest.raises(SanitizerError) as err:
+        sharding._audit_merge(per_node, tampered)
+    assert err.value.finding.rule_id == "SAN005"
+    assert "lossy" in err.value.finding.message
+
+
+# -- acceptance: bit-identity under the sanitizer ---------------------------
+def test_golden_digest_bit_identical_under_sanitizer():
+    """The pinned golden digest — captured long before the sanitizer
+    existed — must reproduce exactly with every SAN check active."""
+    spec = GOLDEN_SPECS[0]
+    with open(GOLDEN_PATH) as handle:
+        golden = json.load(handle)[spec_label(spec)]
+    with sanitizer.enabled():
+        assert digest_result(spec.execute()) == golden
+
+
+def test_violation_renders_like_static_finding():
+    finding = sanitizer.violation("SAN001", "simkit.engine", "boom").finding
+    assert finding.path == "runtime:simkit.engine"
+    assert finding.anchor == "runtime:simkit.engine:0:0"
+    assert finding.rule_id == "SAN001"
