@@ -1,0 +1,45 @@
+"""Observability overhead benchmarks.
+
+The telemetry probes must be free when disarmed: with ``telemetry_hz``
+unset the engine runs its plain event loop and pays nothing beyond one
+branch at run start. These benchmarks pin that down on the same
+100 KQPS server-node scenario as ``test_bench_server_node_100k_qps``:
+
+- ``probes_off`` is that scenario verbatim (telemetry unset) — gated
+  against the committed baseline like any other suite, so a probes
+  regression fails ``repro bench obs_overhead``;
+- ``probes_on_10hz`` arms the sampler at 10 samples per simulated
+  second, the report-typical rate; it is committed to the baseline as a
+  trajectory number; the in-process 1.5x bound lives in
+  ``tests/test_obs_timeline.py`` (it runs under plain pytest, which
+  ``--benchmark-only`` would skip here).
+"""
+
+from repro.server import named_configuration, simulate
+from repro.workloads import memcached_workload
+
+
+def _run_node(telemetry_hz=None):
+    return simulate(
+        memcached_workload(), named_configuration("baseline"),
+        qps=100_000, horizon=0.05, seed=1, telemetry_hz=telemetry_hz,
+    )
+
+
+def test_bench_obs_probes_off(benchmark):
+    """Baseline: telemetry disarmed — must match the plain node run."""
+    result = benchmark.pedantic(_run_node, rounds=3, iterations=1)
+    assert result.completed > 3_000
+    assert result.timeline is None
+
+
+def test_bench_obs_probes_on_10hz(benchmark):
+    """Sampler armed at 10 Hz simulated: bounded, visible overhead."""
+    result = benchmark.pedantic(
+        _run_node, args=(10.0,), rounds=3, iterations=1
+    )
+    assert result.completed > 3_000
+    assert result.timeline is not None
+    assert result.timeline["hz"] == 10.0
+
+

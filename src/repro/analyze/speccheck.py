@@ -383,9 +383,18 @@ def check_codec_version(
 
 
 def update_codec_manifest(
-    serialize_path: str, manifest_path: str = MANIFEST_PATH
+    serialize_path: Optional[str] = None, manifest_path: str = MANIFEST_PATH
 ) -> Dict[str, Any]:
-    """Record the current codec shape; returns the written manifest."""
+    """Record the current codec shape; returns the written manifest.
+
+    Defaults to the installed package's own ``store/serialize.py`` so the
+    CLI (``repro lint --update-codec-manifest``) works with no arguments.
+    """
+    if serialize_path is None:
+        serialize_path = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            *SERIALIZE_FILE.split("/"),
+        )
     version, fingerprint = codec_fingerprint(serialize_path)
     manifest = {"format_version": version, "fingerprint": fingerprint}
     with open(manifest_path, "w", encoding="utf-8") as handle:

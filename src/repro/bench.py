@@ -43,6 +43,9 @@ SUITES: Dict[str, List[str]] = {
     # Set REPRO_BENCH_QUICK=1 for the CI-sized replica (distinct
     # benchmark names, so quick numbers never gate full-size floors).
     "cluster_sharded": ["benchmarks/test_bench_cluster_sharded.py"],
+    # Telemetry-probe overhead: probes-off must track the committed
+    # floor (regression gate), probes-on tracks the sampling cost.
+    "obs_overhead": ["benchmarks/test_bench_obs.py"],
     # "all" enumerates every file except the fleet-scale suite above:
     # that one takes minutes per round at full size and must stay an
     # explicit opt-in, not a surprise inside the default run.
@@ -50,6 +53,7 @@ SUITES: Dict[str, List[str]] = {
         "benchmarks/test_bench_simulator.py",
         "benchmarks/test_bench_sweep.py",
         "benchmarks/test_bench_cluster.py",
+        "benchmarks/test_bench_obs.py",
         "benchmarks/test_bench_extensions.py",
         "benchmarks/test_bench_fig8.py",
         "benchmarks/test_bench_fig9_fig10.py",

@@ -14,6 +14,11 @@ Usage::
     python -m repro sweep --config baseline AW --kqps 10 100 500 --jobs 4
     python -m repro sweep --nodes 8 --fanout 4 --kqps 320 --jobs 4  # cluster
     python -m repro sweep --grid grid.jsonl --on-error skip -o out.jsonl
+    python -m repro sweep --kqps 100 --telemetry-hz 50 --manifest runs.jsonl
+    python -m repro trace --kqps 100 -o trace.json      # Perfetto trace
+    python -m repro trace --nodes 4 --fanout 4 --hedge-ms 0.4 -o trace.json
+    python -m repro report --all --quick -o report.html # one-page HTML
+    python -m repro report fig8 table3 --telemetry-hz 20 -o report.html
     python -m repro cache stats          # result-store hygiene
     python -m repro cache prune --max-bytes 100000000   # LRU size cap
     python -m repro bench --quick        # substrate benchmarks + gate
@@ -118,6 +123,7 @@ def _configured_runner(
     policy: Optional[FailurePolicy] = None,
     progress: Optional[ProgressRenderer] = None,
     shards: Optional[int] = None,
+    manifest=None,
 ) -> Iterator[SweepRunner]:
     """Point the process-wide runner at this command's configuration.
 
@@ -138,6 +144,7 @@ def _configured_runner(
         progress=progress,
         store=_make_store(no_cache, cache_dir),
         policy=policy,
+        manifest=manifest,
     )
     try:
         yield runner
@@ -297,6 +304,7 @@ def _build_sweep_grid(args: argparse.Namespace) -> ScenarioGrid:
             ("--fanout", args.fanout != [1]),
             ("--hedge-ms", args.hedge_ms is not None),
             ("--sketch-error", args.sketch_error is not None),
+            ("--telemetry-hz", args.telemetry_hz is not None),
         ]
         conflicting = [name for name, given in axis_flags if given]
         if conflicting:
@@ -327,6 +335,7 @@ def _build_sweep_grid(args: argparse.Namespace) -> ScenarioGrid:
         fanouts=args.fanout,
         hedge_ms=args.hedge_ms,
         sketch_error=args.sketch_error,
+        telemetry_hz=args.telemetry_hz,
     )
 
 
@@ -359,9 +368,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         return EXIT_USAGE
 
     progress = ProgressRenderer(label="sweep") if args.progress else None
-    with _configured_runner(
+    if args.manifest:
+        from repro.obs import RunManifest
+
+        manifest_scope: "contextlib.AbstractContextManager" = RunManifest(
+            args.manifest
+        )
+    else:
+        manifest_scope = contextlib.nullcontext()
+    with manifest_scope as manifest, _configured_runner(
         args.jobs, args.no_cache, args.cache_dir, policy=policy,
-        progress=progress, shards=args.shards,
+        progress=progress, shards=args.shards, manifest=manifest,
     ) as runner:
         try:
             results = runner.run_grid(grid)
@@ -369,6 +386,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             print(f"sweep failed: {exc}", file=sys.stderr)
             return EXIT_ERROR
         failures = dict(runner.last_failures)
+    if args.manifest:
+        print(f"sweep: run manifest appended to {args.manifest}", file=sys.stderr)
 
     # skip: failed points are omitted from the table/JSONL (clean output);
     # record: they appear inline as error records. Either way every
@@ -432,6 +451,115 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
     )
     return EXIT_ERROR if n_failed else EXIT_OK
+
+
+def _trace_spec(args: argparse.Namespace):
+    """Build the single ScenarioSpec a ``repro trace`` run records."""
+    from repro.sweep.spec import ScenarioSpec
+
+    if (args.qps is None) == (args.kqps is None):
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError("trace needs exactly one rate: --qps or --kqps")
+    qps = args.qps if args.qps is not None else args.kqps * 1000.0
+    turbo = True if args.turbo else (False if args.no_turbo else None)
+    return ScenarioSpec(
+        workload=args.workload, config=args.config, qps=qps,
+        cores=args.cores, horizon=args.horizon, seed=args.seed,
+        governor=args.governor, turbo=turbo, snoops=not args.no_snoops,
+        nodes=args.nodes, balancer=args.balancer, fanout=args.fanout,
+        hedge_ms=args.hedge_ms, telemetry_hz=args.telemetry_hz,
+    )
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Record one scenario into a Chrome trace-event JSON for Perfetto."""
+    from repro.obs.chrometrace import export_chrome_trace
+
+    from repro.errors import ConfigurationError
+
+    try:
+        spec = _trace_spec(args)
+    except ConfigurationError as exc:
+        print(f"invalid trace: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        meta = export_chrome_trace(spec, args.output, capacity=args.capacity)
+    except ReproError as exc:
+        print(f"trace failed: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    dropped = meta.get("dropped_events", 0)
+    note = f" ({dropped} dropped; raise --capacity)" if dropped else ""
+    print(
+        f"wrote {meta['recorded_events']} trace events to {args.output}{note}\n"
+        "open in https://ui.perfetto.dev or chrome://tracing"
+    )
+    return EXIT_OK
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Build the one-page self-contained HTML repro report."""
+    from repro.bench import find_repo_root
+    from repro.errors import ConfigurationError
+    from repro.obs.report import build_report
+
+    known = experiment_ids()
+    targets = known if args.all else args.ids
+    if not targets:
+        print("nothing to report: name experiments or pass --all", file=sys.stderr)
+        return EXIT_USAGE
+    unknown = [i for i in targets if i not in known]
+    if unknown:
+        print(
+            f"unknown experiment(s) {', '.join(map(repr, unknown))}; "
+            "run `python -m repro list`",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    experiments = [get_experiment(experiment_id) for experiment_id in targets]
+    if args.quick:
+        experiments = [experiment.quick() for experiment in experiments]
+    progress = None
+    if args.jobs is not None and args.jobs > 1:
+        progress = ProgressRenderer(label="report")
+    timeline = None
+    timeline_label = ""
+    with _configured_runner(
+        args.jobs, args.no_cache, args.cache_dir, progress=progress
+    ) as runner:
+        try:
+            results = run_experiments(experiments, runner=runner)
+            if args.telemetry_hz is not None:
+                from repro.sweep.spec import ScenarioSpec
+
+                spec = ScenarioSpec(
+                    workload="memcached", config="baseline", qps=100_000.0,
+                    horizon=0.05 if args.quick else DEFAULT_HORIZON,
+                    telemetry_hz=args.telemetry_hz,
+                )
+                timeline = runner.run(spec).timeline
+                timeline_label = (
+                    f"{spec.workload}/{spec.config} @ {spec.qps:.0f} QPS, "
+                    f"horizon {spec.horizon}s"
+                )
+        except ReproError as exc:
+            print(f"report failed: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+    try:
+        root: Optional[str] = find_repo_root()
+    except ConfigurationError:
+        root = None  # no benchmarks/ nearby: skip the trend section
+    page = build_report(
+        experiments, results,
+        timeline=timeline, timeline_label=timeline_label,
+        manifest_path=args.manifest, root=root,
+        subtitle=f"{len(experiments)} experiment(s)"
+        + (", quick grids" if args.quick else ""),
+    )
+    with open(args.output, "w") as handle:
+        handle.write(page)
+    print(f"wrote {args.output} ({len(page) / 1024:.0f} KiB, self-contained)")
+    return EXIT_OK
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -600,6 +728,18 @@ def build_parser() -> argparse.ArgumentParser:
              "samples — the fleet-scale memory knob",
     )
     sweep.add_argument(
+        "--telemetry-hz", type=float, default=None, metavar="HZ",
+        help="sample a simulated-time telemetry timeline (power, C-state "
+             "occupancy, load) at HZ samples per simulated second into "
+             "each result; metrics stay bit-identical to an unsampled run",
+    )
+    sweep.add_argument(
+        "--manifest", metavar="FILE",
+        help="append a run manifest (one JSON line per lifecycle event: "
+             "claimed/finished/retry/timeout/killed/memo_hit/store_hit) "
+             "to FILE while the sweep runs",
+    )
+    sweep.add_argument(
         "--shards", type=int, default=None, metavar="S",
         help="split each cluster point into S node-range shards run on a "
              "process pool and merged exactly (bit-identical to the "
@@ -648,6 +788,78 @@ def build_parser() -> argparse.ArgumentParser:
              "processes inherit the setting via REPRO_SANITIZE",
     )
     add_cache_flags(sweep)
+
+    trace = sub.add_parser(
+        "trace",
+        help="record one scenario as a Chrome trace-event JSON "
+             "(Perfetto/chrome://tracing): per-core C-state intervals, "
+             "request lifecycle spans, hedge and snoop marks",
+    )
+    trace.add_argument("--workload", default="memcached")
+    trace.add_argument("--config", default="baseline")
+    rate_group = trace.add_mutually_exclusive_group()
+    rate_group.add_argument("--qps", type=float, help="request rate in QPS")
+    rate_group.add_argument("--kqps", type=float, help="request rate in KQPS")
+    trace.add_argument("--cores", type=int, default=DEFAULT_CORES)
+    trace.add_argument(
+        "--horizon", type=float, default=0.05,
+        help="simulated seconds to record (default 0.05: traces grow "
+             "with every C-state transition and request)",
+    )
+    trace.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    trace.add_argument("--governor", default="menu")
+    trace_turbo = trace.add_mutually_exclusive_group()
+    trace_turbo.add_argument("--turbo", action="store_true")
+    trace_turbo.add_argument("--no-turbo", action="store_true")
+    trace.add_argument("--no-snoops", action="store_true")
+    trace.add_argument("--nodes", type=int, default=1)
+    trace.add_argument("--balancer", default="random")
+    trace.add_argument("--fanout", type=int, default=1)
+    trace.add_argument("--hedge-ms", type=float, default=None, metavar="MS")
+    trace.add_argument(
+        "--telemetry-hz", type=float, default=None, metavar="HZ",
+        help="additionally sample the telemetry timeline during the run",
+    )
+    trace.add_argument(
+        "--capacity", type=int, default=None, metavar="N",
+        help="ring-buffer capacity in events (default: recorder default); "
+             "overflow drops oldest events and is reported",
+    )
+    trace.add_argument(
+        "-o", "--output", metavar="FILE", default="trace.json",
+        help="output path (default: trace.json)",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="build a one-page self-contained HTML report: experiment "
+             "figures, telemetry timeline, sweep manifest summary and "
+             "benchmark trend",
+    )
+    report.add_argument("ids", nargs="*", help="experiment ids (see `list`)")
+    report.add_argument("--all", action="store_true", help="report everything")
+    report.add_argument(
+        "--quick", action="store_true",
+        help="reduced experiment grids (CI smoke, seconds per experiment)",
+    )
+    report.add_argument(
+        "--telemetry-hz", type=float, default=None, metavar="HZ",
+        help="include a telemetry-timeline section sampled at HZ from a "
+             "representative 100 KQPS run",
+    )
+    report.add_argument(
+        "--manifest", metavar="FILE", default=None,
+        help="include a summary of this sweep run-manifest JSONL",
+    )
+    report.add_argument(
+        "-o", "--output", metavar="FILE", default="report.html",
+        help="output path (default: report.html)",
+    )
+    report.add_argument(
+        "-j", "--jobs", type=int, metavar="N",
+        help="simulate experiment points over N worker processes",
+    )
+    add_cache_flags(report)
 
     cache = sub.add_parser(
         "cache", help="inspect or clean the persistent result store"
@@ -862,6 +1074,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return cmd_list()
             if args.command == "sweep":
                 return cmd_sweep(args)
+            if args.command == "trace":
+                return cmd_trace(args)
+            if args.command == "report":
+                return cmd_report(args)
             if args.command == "cache":
                 return cmd_cache(args)
             if args.command == "bench":

@@ -31,6 +31,7 @@ from repro.server.config import ServerConfiguration
 from repro.server.metrics import RunResult
 from repro.server.node import ServerNode
 from repro.simkit.engine import Simulator
+from repro.simkit.trace import PrefixedTrace, TraceRecorder
 from repro.workloads.base import Workload
 from repro.workloads.loadgen import (
     ArrivalStream,
@@ -66,6 +67,15 @@ class Cluster:
         fanout: leaves per logical request (``1 <= fanout <= nodes``).
         hedge_s: optional hedged-request delay in seconds.
         governor_factory: idle-governor factory shared by all cores.
+        trace: optional shared :class:`~repro.simkit.trace.TraceRecorder`.
+            Node ``i``'s events are recorded with an ``n{i}.`` source
+            prefix (so ``n0.core3``); the dispatcher records request
+            spans under source ``lb``. Stripping the ``n0.`` prefix from a
+            one-node cluster's node events reproduces the standalone
+            node's trace exactly.
+        telemetry_hz: optional probe rate; when set, :meth:`run` samples
+            every node on shared-clock ticks and the collected result
+            carries the aggregate + per-node timeline.
     """
 
     def __init__(
@@ -85,6 +95,8 @@ class Cluster:
         uncore_watts: float = 38.0,
         loadgen: Optional[LoadGenerator] = None,
         sketch_error: Optional[float] = None,
+        trace: Optional[TraceRecorder] = None,
+        telemetry_hz: Optional[float] = None,
     ):
         if nodes <= 0:
             raise ConfigurationError(f"need at least one node, got {nodes}")
@@ -117,15 +129,19 @@ class Cluster:
                 sim=self.sim,
                 external_arrivals=True,
                 sketch_error=sketch_error,
+                trace=None if trace is None else PrefixedTrace(trace, f"n{i}."),
             )
             for i in range(nodes)
         ]
+        self.trace = trace
+        self.telemetry_hz = telemetry_hz
         balancer_obj = make_balancer(balancer)
         balancer_obj.setup(nodes, random.Random(seed + BALANCER_SEED_OFFSET))
         self.balancer = balancer_obj
         self.dispatcher = FanoutDispatcher(
             self.sim, self.server_nodes, balancer_obj,
             fanout=fanout, hedge_s=hedge_s, sketch_error=sketch_error,
+            trace=trace,
         )
         # The logical arrival stream uses the same derivation as a
         # standalone node's internal loadgen (seed + 1) and the same
@@ -142,8 +158,21 @@ class Cluster:
         ).start()
         for node in self.server_nodes:
             node.start()
+        sampler = None
+        if self.telemetry_hz is not None:
+            from repro.obs.timeline import TimelineSampler
+
+            # One sampler over all nodes on the shared clock: each tick
+            # reads every node in node order, so the aggregate series
+            # fold exactly like the sharded merge path.
+            sampler = TimelineSampler(self.telemetry_hz, self.server_nodes)
+            sampler.attach(self.sim)
         self.sim.run(until=self.horizon)
-        return self.collect()
+        result = self.collect()
+        if sampler is not None:
+            self.sim.clear_tick_hook()
+            result.timeline = sampler.finish()
+        return result
 
     def collect(self) -> RunResult:
         """Cluster-level ``RunResult`` plus per-node residency breakdowns.

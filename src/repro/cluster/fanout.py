@@ -23,16 +23,20 @@ from repro.cluster.balancer import LoadBalancer
 from repro.errors import ConfigurationError
 from repro.simkit.engine import Simulator
 from repro.simkit.stats import PercentileTracker
+from repro.simkit.trace import NULL_TRACE, TraceRecorder
 
 
 class _Logical:
     """One in-flight logical request: completes when every leaf has."""
 
-    __slots__ = ("arrival", "remaining")
+    __slots__ = ("arrival", "remaining", "lid")
 
     def __init__(self, arrival: float, remaining: int):
         self.arrival = arrival
         self.remaining = remaining
+        #: Span id for trace export; only written inside ``trace.enabled``
+        #: branches.
+        self.lid = 0
 
 
 class _Leaf:
@@ -42,13 +46,16 @@ class _Leaf:
     dispatching a request allocates no per-leaf closure.
     """
 
-    __slots__ = ("dispatcher", "logical", "home", "done")
+    __slots__ = ("dispatcher", "logical", "home", "done", "ordinal")
 
     def __init__(self, dispatcher: "FanoutDispatcher", logical: _Logical, home: int):
         self.dispatcher = dispatcher
         self.logical = logical
         self.home = home
         self.done = False
+        #: Position within the logical request's leaf set; a hedged
+        #: duplicate shares its original's ``(lid, ordinal)`` span id.
+        self.ordinal = 0
 
     def __call__(self, now: float) -> None:
         self.dispatcher._leaf_done(self, now)
@@ -65,6 +72,11 @@ class FanoutDispatcher:
         fanout: leaves per logical request (distinct nodes).
         hedge_s: if set, leaves still outstanding after this many seconds
             are duplicated onto another node (first answer wins).
+        trace: optional recorder for request-lifecycle spans, recorded
+            under source ``lb``: ``dispatch``/``complete`` carry the
+            logical id, ``leaf``/``leaf_done``/``hedge`` carry
+            ``(lid, ordinal, ...)`` — a hedged duplicate shares the
+            ``(lid, ordinal)`` span id of the leaf it duplicates.
     """
 
     def __init__(
@@ -75,6 +87,7 @@ class FanoutDispatcher:
         fanout: int = 1,
         hedge_s: Optional[float] = None,
         sketch_error: Optional[float] = None,
+        trace: Optional[TraceRecorder] = None,
     ):
         if not nodes:
             raise ConfigurationError("need at least one node")
@@ -96,6 +109,9 @@ class FanoutDispatcher:
         self.completed = 0
         #: Duplicate leaves issued by the hedge timer.
         self.hedges_issued = 0
+        self.trace = trace if trace is not None else NULL_TRACE
+        #: Monotone logical-request id; advanced only while tracing.
+        self._trace_seq = 0
 
     # -- dispatch ----------------------------------------------------------
     def _loads(self) -> List[int]:
@@ -107,6 +123,15 @@ class FanoutDispatcher:
         targets = self.balancer.pick(self.fanout, self._loads())
         logical = _Logical(arrival, len(targets))
         leaves = [_Leaf(self, logical, idx) for idx in targets]
+        trace = self.trace
+        if trace.enabled:
+            lid = self._trace_seq
+            self._trace_seq = lid + 1
+            logical.lid = lid
+            trace.record(arrival, "lb", "dispatch", (lid, tuple(targets)))
+            for ordinal, leaf in enumerate(leaves):
+                leaf.ordinal = ordinal
+                trace.record(arrival, "lb", "leaf", (lid, ordinal, leaf.home))
         for leaf in leaves:
             self._send(leaf, leaf.home)
         if self.hedge_s is not None:
@@ -124,9 +149,14 @@ class FanoutDispatcher:
         leaf.done = True
         logical = leaf.logical
         logical.remaining -= 1
+        trace = self.trace
+        if trace.enabled:
+            trace.record(now, "lb", "leaf_done", (logical.lid, leaf.ordinal))
         if logical.remaining == 0:
             self.latency.add(now - logical.arrival)
             self.completed += 1
+            if trace.enabled:
+                trace.record(now, "lb", "complete", logical.lid)
 
     def _hedge(self, leaves: Sequence[_Leaf]) -> None:
         """Duplicate still-outstanding leaves onto *other* nodes.
@@ -149,4 +179,10 @@ class FanoutDispatcher:
                 # Duplicating onto the same (slow) node buys nothing.
                 alt = (alt + 1) % len(self.nodes)
             self.hedges_issued += 1
+            trace = self.trace
+            if trace.enabled:
+                trace.record(
+                    self.sim.now, "lb", "hedge",
+                    (leaf.logical.lid, leaf.ordinal, alt),
+                )
             self._send(leaf, alt)

@@ -47,6 +47,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 from repro.cluster.balancer import STATELESS_BALANCERS
 from repro.cluster.cluster import NODE_SEED_STRIDE
 from repro.errors import ConfigurationError, ShardingError
+from repro.obs.timeline import merge_timelines
 from repro.server.metrics import RunResult
 from repro.server.node import ServerNode
 from repro.simkit import sanitizer as _sanitizer
@@ -167,6 +168,7 @@ def run_shard(spec: "ScenarioSpec", lo: int, hi: int) -> List[RunResult]:
             governor_factory=governor_factory,
             sketch_error=spec.sketch_error,
             loadgen=_node_loadgen(spec, i, node_seed),
+            telemetry_hz=spec.telemetry_hz,
         )
         results.append(node.run())
     return results
@@ -248,6 +250,10 @@ def merge_node_results(
         # max (the shared-sim Cluster reports one global heap instead).
         events_processed=sum(r.events_processed for r in per_node),
         peak_pending_events=max(r.peak_pending_events for r in per_node),
+        # Timelines merge in node order too (additive series accumulate
+        # node 0 first), so telemetry aggregates are bit-identical to the
+        # shared-simulator cluster sampling the same nodes.
+        timeline=merge_timelines([r.timeline for r in per_node]),
     )
     if _sanitizer.is_enabled():
         _audit_merge(per_node, merged)

@@ -44,6 +44,7 @@ import abc
 import csv
 import io
 import json
+import re
 import types
 import typing
 from dataclasses import dataclass, field, fields as dataclass_fields, replace
@@ -84,6 +85,140 @@ _EXTENSIONS = {"table": "txt", "json": "json", "jsonl": "jsonl", "csv": "csv"}
 @dataclass(frozen=True)
 class NoParams:
     """Parameter set of experiments with nothing to configure."""
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One named line/bar series of an experiment figure."""
+
+    label: str
+    x: Tuple[float, ...]
+    y: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """Declarative figure description rendered by :mod:`repro.obs.figures`.
+
+    Backend-independent by design: experiments declare *what* to plot;
+    the report renders it with matplotlib when installed and a pure-SVG
+    fallback otherwise, so ``repro report`` works in both environments.
+    """
+
+    id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: Tuple[FigureSeries, ...]
+    kind: str = "line"  # "line" or "bar"
+    log_y: bool = False
+
+
+#: Record metrics the generic figure builder plots against qps, with
+#: axis labels (latencies are milliseconds end-to-end at the server).
+_GENERIC_METRICS: Tuple[Tuple[str, str], ...] = (
+    ("p99_latency", "p99 latency (s)"),
+    ("package_power", "package power (W)"),
+)
+
+
+def _numeric(value: object) -> Optional[float]:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        # Static paper tables carry unit-suffixed strings ("4.00W",
+        # "5 cycles"); plot their leading number.
+        match = re.match(r"^\s*(-?\d+(?:\.\d+)?)", value)
+        if match:
+            return float(match.group(1))
+    return None
+
+
+def generic_figures(result: ExperimentResult) -> List["FigureSpec"]:
+    """Default figures from an experiment's flat records.
+
+    When records carry a numeric ``qps`` axis, plots each of
+    :data:`_GENERIC_METRICS` against it (one series per ``config``
+    value). Otherwise falls back to a bar chart of the first numeric
+    column. Experiments with bespoke artwork override
+    :meth:`Experiment.figures` instead.
+    """
+    records = result.records
+    if not records:
+        return []
+    figures: List[FigureSpec] = []
+    qps_values = [_numeric(r.get("qps")) for r in records]
+    if sum(1 for q in qps_values if q is not None) >= 2:
+        for metric, y_label in _GENERIC_METRICS:
+            groups: Dict[str, List[Tuple[float, float]]] = {}
+            for record, q in zip(records, qps_values):
+                y = _numeric(record.get(metric))
+                if q is None or y is None:
+                    continue
+                label = str(record.get("config", result.experiment_id))
+                groups.setdefault(label, []).append((q, y))
+            series = tuple(
+                FigureSeries(
+                    label=label,
+                    x=tuple(p[0] for p in sorted(points)),
+                    y=tuple(p[1] for p in sorted(points)),
+                )
+                for label, points in groups.items()
+                if points
+            )
+            if series:
+                figures.append(
+                    FigureSpec(
+                        id=f"{result.experiment_id}:{metric}",
+                        title=f"{result.artifact}: {metric} vs offered load",
+                        x_label="offered load (QPS)",
+                        y_label=y_label,
+                        series=series,
+                    )
+                )
+    if figures:
+        return figures
+    # No qps axis: first numeric column as a bar chart over records.
+    for key in _union_keys(records):
+        values = [_numeric(r.get(key)) for r in records]
+        if sum(1 for v in values if v is not None) >= 1:
+            points = [
+                (float(i), v) for i, v in enumerate(values) if v is not None
+            ]
+            return [
+                FigureSpec(
+                    id=f"{result.experiment_id}:{key}",
+                    title=f"{result.artifact}: {key} by record",
+                    x_label="record",
+                    y_label=key,
+                    series=(
+                        FigureSeries(
+                            label=key,
+                            x=tuple(p[0] for p in points),
+                            y=tuple(p[1] for p in points),
+                        ),
+                    ),
+                    kind="bar",
+                )
+            ]
+    # Nothing numeric at all (purely descriptive tables): a record-count
+    # bar keeps the report's one-figure-per-experiment invariant.
+    return [
+        FigureSpec(
+            id=f"{result.experiment_id}:records",
+            title=f"{result.artifact}: records",
+            x_label="",
+            y_label="records",
+            series=(
+                FigureSeries(
+                    label="records", x=(0.0,), y=(float(len(records)),)
+                ),
+            ),
+            kind="bar",
+        )
+    ]
 
 
 @dataclass
@@ -175,6 +310,15 @@ class Experiment(abc.ABC):
         headers = _union_keys(result.records)
         rows = [[_csv_cell(r.get(h, "")) for h in headers] for r in result.records]
         return format_table(headers, rows)
+
+    def figures(self, result: ExperimentResult) -> List[FigureSpec]:
+        """Declarative figures for the HTML report (``repro report``).
+
+        The default derives generic qps-vs-metric plots from the flat
+        records (see :func:`generic_figures`); experiments with bespoke
+        artwork override this.
+        """
+        return generic_figures(result)
 
     # -- quick mode ---------------------------------------------------------
     def quick_params(self) -> object:

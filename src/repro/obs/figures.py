@@ -1,0 +1,284 @@
+"""Figure rendering for the HTML report: matplotlib or pure-SVG fallback.
+
+:func:`render_figure` turns a backend-independent
+:class:`~repro.experiments.api.FigureSpec` into an HTML fragment:
+
+* with **matplotlib** installed (CI installs it via requirements-dev),
+  the figure renders through the headless ``Agg`` backend to a base64
+  PNG ``<img>``;
+* without it (the default container), a small pure-Python SVG line/bar
+  renderer produces an inline ``<svg>`` — fewer frills, zero deps.
+
+Either way the output embeds in the self-contained report page; the
+chosen backend is reported so tests can assert on it.
+"""
+
+from __future__ import annotations
+
+import base64
+import html
+import io
+import math
+from typing import List, Sequence, Tuple
+
+try:  # pragma: no cover - exercised only where matplotlib is installed
+    import matplotlib
+
+    matplotlib.use("Agg")  # headless: never require a display
+    import matplotlib.pyplot as _plt
+except Exception:  # pragma: no cover - ModuleNotFoundError and friends
+    _plt = None
+
+#: SVG canvas size (px) for the fallback renderer.
+SVG_WIDTH = 560
+SVG_HEIGHT = 340
+_MARGIN_L = 64
+_MARGIN_R = 16
+_MARGIN_T = 34
+_MARGIN_B = 46
+
+#: Fallback series palette (matplotlib's default cycle, abridged).
+_COLORS = (
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728",
+    "#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
+)
+
+
+def matplotlib_available() -> bool:
+    """Whether the matplotlib backend will be used."""
+    return _plt is not None
+
+
+def render_figure(figure) -> str:
+    """HTML fragment (``<img>`` or inline ``<svg>``) for one FigureSpec."""
+    if _plt is not None:
+        return _render_matplotlib(figure)
+    return render_svg(figure)
+
+
+# -- matplotlib backend ------------------------------------------------------
+
+def _render_matplotlib(figure) -> str:  # pragma: no cover - CI-only path
+    fig, ax = _plt.subplots(figsize=(6.0, 3.6), dpi=110)
+    try:
+        for i, series in enumerate(figure.series):
+            color = _COLORS[i % len(_COLORS)]
+            if figure.kind == "bar":
+                ax.bar(series.x, series.y, label=series.label, color=color)
+            else:
+                ax.plot(
+                    series.x, series.y, marker="o", markersize=3,
+                    label=series.label, color=color,
+                )
+        ax.set_title(figure.title, fontsize=10)
+        ax.set_xlabel(figure.x_label, fontsize=9)
+        ax.set_ylabel(figure.y_label, fontsize=9)
+        if figure.log_y:
+            ax.set_yscale("log")
+        if len(figure.series) > 1:
+            ax.legend(fontsize=8)
+        ax.grid(True, alpha=0.3)
+        fig.tight_layout()
+        buffer = io.BytesIO()
+        fig.savefig(buffer, format="png")
+    finally:
+        _plt.close(fig)
+    encoded = base64.b64encode(buffer.getvalue()).decode("ascii")
+    alt = html.escape(figure.title)
+    return (
+        f'<img class="figure" alt="{alt}" '
+        f'src="data:image/png;base64,{encoded}"/>'
+    )
+
+
+# -- pure-SVG fallback -------------------------------------------------------
+
+def _data_range(values: Sequence[float]) -> Tuple[float, float]:
+    lo, hi = min(values), max(values)
+    if lo == hi:
+        # Flat data: pad so the scale stays finite and the line centred.
+        pad = abs(lo) * 0.5 if lo else 1.0
+        return lo - pad, hi + pad
+    return lo, hi
+
+
+def _ticks(lo: float, hi: float, n: int = 5) -> List[float]:
+    """A few round-ish tick positions across [lo, hi]."""
+    span = hi - lo
+    if span <= 0 or not math.isfinite(span):
+        return [lo]
+    raw = span / max(n - 1, 1)
+    magnitude = 10 ** math.floor(math.log10(raw))
+    for multiple in (1, 2, 2.5, 5, 10):
+        step = multiple * magnitude
+        if step >= raw:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    value = first
+    while value <= hi + step * 1e-9:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks or [lo]
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10000 or abs(value) < 0.01:
+        return f"{value:.2g}"
+    return f"{value:g}"
+
+
+def render_svg(figure) -> str:
+    """Inline-SVG rendering of one FigureSpec (no dependencies)."""
+    xs = [v for s in figure.series for v in s.x]
+    ys = [v for s in figure.series for v in s.y]
+    if not xs or not ys:
+        return (
+            f'<svg class="figure" width="{SVG_WIDTH}" height="60">'
+            f'<text x="10" y="30">{html.escape(figure.title)}: no data'
+            "</text></svg>"
+        )
+    if figure.log_y and all(y > 0 for y in ys):
+        transform = math.log10
+        ys_t = [transform(y) for y in ys]
+    else:
+        transform = None
+        ys_t = list(ys)
+    x_lo, x_hi = _data_range(xs)
+    y_lo, y_hi = _data_range(ys_t)
+    plot_w = SVG_WIDTH - _MARGIN_L - _MARGIN_R
+    plot_h = SVG_HEIGHT - _MARGIN_T - _MARGIN_B
+
+    def px(x: float) -> float:
+        return _MARGIN_L + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def py(y: float) -> float:
+        y_v = transform(y) if transform is not None and y > 0 else y
+        return _MARGIN_T + plot_h - (y_v - y_lo) / (y_hi - y_lo) * plot_h
+
+    parts: List[str] = [
+        f'<svg class="figure" width="{SVG_WIDTH}" height="{SVG_HEIGHT}" '
+        f'viewBox="0 0 {SVG_WIDTH} {SVG_HEIGHT}" '
+        'xmlns="http://www.w3.org/2000/svg" '
+        'font-family="sans-serif" font-size="11">',
+        f'<rect width="{SVG_WIDTH}" height="{SVG_HEIGHT}" fill="white"/>',
+        f'<text x="{SVG_WIDTH / 2:.0f}" y="18" text-anchor="middle" '
+        f'font-size="13">{html.escape(figure.title)}</text>',
+    ]
+    # Axes frame + grid + tick labels.
+    parts.append(
+        f'<rect x="{_MARGIN_L}" y="{_MARGIN_T}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#999"/>'
+    )
+    for tick in _ticks(x_lo, x_hi):
+        x = px(tick)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{_MARGIN_T}" x2="{x:.1f}" '
+            f'y2="{_MARGIN_T + plot_h}" stroke="#eee"/>'
+            f'<text x="{x:.1f}" y="{_MARGIN_T + plot_h + 16}" '
+            f'text-anchor="middle">{_fmt(tick)}</text>'
+        )
+    y_tick_vals = _ticks(y_lo, y_hi)
+    for tick in y_tick_vals:
+        y = _MARGIN_T + plot_h - (tick - y_lo) / (y_hi - y_lo) * plot_h
+        label = 10 ** tick if transform is not None else tick
+        parts.append(
+            f'<line x1="{_MARGIN_L}" y1="{y:.1f}" '
+            f'x2="{_MARGIN_L + plot_w}" y2="{y:.1f}" stroke="#eee"/>'
+            f'<text x="{_MARGIN_L - 6}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{_fmt(label)}</text>'
+        )
+    # Axis labels.
+    parts.append(
+        f'<text x="{_MARGIN_L + plot_w / 2:.0f}" y="{SVG_HEIGHT - 8}" '
+        f'text-anchor="middle">{html.escape(figure.x_label)}</text>'
+        f'<text x="14" y="{_MARGIN_T + plot_h / 2:.0f}" '
+        f'text-anchor="middle" transform="rotate(-90 14 '
+        f'{_MARGIN_T + plot_h / 2:.0f})">{html.escape(figure.y_label)}</text>'
+    )
+    bar_groups = len(figure.series)
+    for i, series in enumerate(figure.series):
+        color = _COLORS[i % len(_COLORS)]
+        if figure.kind == "bar":
+            slot = plot_w / max(len(series.x), 1)
+            width = max(slot / max(bar_groups, 1) * 0.8, 2.0)
+            for x, y in zip(series.x, series.y):
+                left = px(x) - slot * 0.4 + i * width
+                top = py(y)
+                parts.append(
+                    f'<rect x="{left:.1f}" y="{top:.1f}" '
+                    f'width="{width:.1f}" '
+                    f'height="{_MARGIN_T + plot_h - top:.1f}" '
+                    f'fill="{color}" fill-opacity="0.8"/>'
+                )
+        else:
+            points = " ".join(
+                f"{px(x):.1f},{py(y):.1f}"
+                for x, y in zip(series.x, series.y)
+            )
+            parts.append(
+                f'<polyline points="{points}" fill="none" '
+                f'stroke="{color}" stroke-width="1.5"/>'
+            )
+            for x, y in zip(series.x, series.y):
+                parts.append(
+                    f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="2.5" '
+                    f'fill="{color}"/>'
+                )
+        # Legend entry.
+        if len(figure.series) > 1:
+            ly = _MARGIN_T + 8 + i * 14
+            parts.append(
+                f'<rect x="{_MARGIN_L + plot_w - 110}" y="{ly - 8}" '
+                f'width="10" height="10" fill="{color}"/>'
+                f'<text x="{_MARGIN_L + plot_w - 96}" y="{ly + 1}">'
+                f"{html.escape(series.label)}</text>"
+            )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def timeline_figures(timeline, prefix: str = "") -> List[object]:
+    """FigureSpecs for a sampled telemetry timeline dict.
+
+    Produces a power plot (package/core watts), an occupancy plot (one
+    series per sampled C-state) and a load plot (in-flight/queued), so a
+    telemetry-enabled report shows the run's simulated-time dynamics.
+    """
+    from repro.experiments.api import FigureSeries, FigureSpec
+
+    if not timeline:
+        return []
+    times = tuple(timeline.get("times") or ())
+    series = timeline.get("series") or {}
+    if not times or not series:
+        return []
+
+    def spec(fig_id: str, title: str, y_label: str, keys: List[str]):
+        picked = [
+            FigureSeries(label=key, x=times, y=tuple(series[key]))
+            for key in keys
+            if key in series
+        ]
+        if not picked:
+            return None
+        return FigureSpec(
+            id=f"{prefix}timeline:{fig_id}",
+            title=title,
+            x_label="simulated time (s)",
+            y_label=y_label,
+            series=tuple(picked),
+        )
+
+    cstates = sorted(k for k in series if k.startswith("cstate."))
+    out = [
+        spec("power", "Telemetry: socket power", "watts",
+             ["package_power", "core_power"]),
+        spec("cstates", "Telemetry: core C-state occupancy", "cores",
+             cstates),
+        spec("load", "Telemetry: offered load", "requests",
+             ["in_flight", "queued"]),
+    ]
+    return [f for f in out if f is not None]

@@ -1,0 +1,286 @@
+"""``repro report``: one self-contained HTML page for a repro run.
+
+The report stitches together everything this repository can say about
+the reproduction in a single file with zero external references:
+
+- **experiments** — every selected experiment's figures (rendered by
+  :mod:`repro.obs.figures`; inline SVG without matplotlib, base64 PNG
+  with it) plus its legacy text table;
+- **telemetry** — simulated-time power/C-state/load plots when the
+  report run samples a timeline (``--telemetry-hz``);
+- **manifest** — an event-count and throughput summary of a sweep run
+  manifest JSONL (``--manifest``);
+- **bench trend** — the committed benchmark baseline next to any
+  ``BENCH_*.json`` documents from recent ``repro bench`` runs.
+
+Everything embeds as markup or data URIs, so the artifact can be mailed,
+attached to CI, or archived as-is.
+"""
+
+from __future__ import annotations
+
+import glob
+import html
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.figures import matplotlib_available, render_figure, timeline_figures
+
+#: Report page version (bump when the structure changes meaningfully).
+REPORT_VERSION = 1
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       max-width: 1200px; margin: 0 auto; padding: 0 24px 64px;
+       color: #1a1a2e; }
+h1 { border-bottom: 2px solid #1f77b4; padding-bottom: 8px; }
+h2 { margin-top: 40px; border-bottom: 1px solid #ccc; padding-bottom: 4px; }
+h3 { margin-bottom: 4px; }
+pre { background: #f6f8fa; padding: 12px; overflow-x: auto;
+      font-size: 12px; border-radius: 6px; }
+table.summary { border-collapse: collapse; font-size: 13px; }
+table.summary th, table.summary td { border: 1px solid #ccc;
+      padding: 4px 10px; text-align: right; }
+table.summary th { background: #f0f2f5; }
+table.summary td:first-child, table.summary th:first-child {
+      text-align: left; }
+.figure { margin: 8px 12px 8px 0; vertical-align: top; }
+.meta { color: #666; font-size: 12px; }
+.notes { font-size: 13px; color: #444; }
+.regressed { color: #c0392b; font-weight: bold; }
+.improved { color: #27ae60; }
+details > summary { cursor: pointer; color: #1f77b4; font-size: 13px; }
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value))
+
+
+# -- manifest summary ---------------------------------------------------------
+
+def summarize_manifest(path: str) -> Dict[str, object]:
+    """Reduce a sweep run-manifest JSONL to a summary dict.
+
+    Returns event counts, distinct workers, total finished wall time and
+    aggregate simulated-event throughput; malformed lines are counted,
+    not fatal (a manifest from a killed run may end mid-line).
+    """
+    counts: Dict[str, int] = {}
+    workers = set()
+    wall_total = 0.0
+    events_rates: List[float] = []
+    malformed = 0
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                malformed += 1
+                continue
+            event = str(record.get("event", "?"))
+            counts[event] = counts.get(event, 0) + 1
+            if "worker" in record:
+                workers.add(str(record["worker"]))
+            if event == "finished":
+                wall = record.get("wall_s")
+                if isinstance(wall, (int, float)):
+                    wall_total += float(wall)
+                rate = record.get("events_per_s")
+                if isinstance(rate, (int, float)):
+                    events_rates.append(float(rate))
+    return {
+        "path": path,
+        "counts": counts,
+        "workers": sorted(workers),
+        "finished_wall_s": wall_total,
+        "mean_events_per_s": (
+            sum(events_rates) / len(events_rates) if events_rates else None
+        ),
+        "malformed_lines": malformed,
+    }
+
+
+def _manifest_section(summary: Dict[str, object]) -> str:
+    counts = summary["counts"]
+    rows = "".join(
+        f"<tr><td>{_esc(event)}</td><td>{counts[event]}</td></tr>"
+        for event in sorted(counts)
+    )
+    mean_rate = summary["mean_events_per_s"]
+    rate_text = f"{mean_rate:,.0f} events/s" if mean_rate else "n/a"
+    extras = ""
+    if summary["malformed_lines"]:
+        extras = (
+            f'<p class="regressed">{summary["malformed_lines"]} malformed '
+            "line(s) — the producing run may have been killed mid-write.</p>"
+        )
+    return (
+        f"<h2>Sweep manifest</h2>"
+        f'<p class="meta">{_esc(summary["path"])} &middot; '
+        f'workers: {_esc(", ".join(summary["workers"]) or "none")} &middot; '
+        f"finished wall time {summary['finished_wall_s']:.2f}s &middot; "
+        f"mean simulated throughput {rate_text}</p>"
+        f'<table class="summary"><tr><th>event</th><th>count</th></tr>'
+        f"{rows}</table>{extras}"
+    )
+
+
+# -- bench trend --------------------------------------------------------------
+
+def load_bench_documents(root: str) -> List[Tuple[str, Dict[str, object]]]:
+    """The committed baseline plus any ``BENCH_*.json`` run documents.
+
+    Returns ``(label, results)`` pairs, baseline first; unreadable or
+    schema-mismatched files are skipped (the report must not fail
+    because a stray artifact is corrupt).
+    """
+    docs: List[Tuple[str, Dict[str, object]]] = []
+    candidates = [
+        ("baseline", os.path.join(root, "benchmarks", "BENCH_baseline.json"))
+    ]
+    for path in sorted(glob.glob(os.path.join(root, "BENCH_*.json"))):
+        candidates.append((os.path.basename(path), path))
+    for label, path in candidates:
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        results = data.get("results")
+        if isinstance(results, dict) and results:
+            docs.append((label, results))
+    return docs
+
+
+def _bench_section(root: str) -> str:
+    docs = load_bench_documents(root)
+    if not docs:
+        return "<h2>Benchmark trend</h2><p class='meta'>no BENCH documents found</p>"
+    names: List[str] = []
+    for _, results in docs:
+        for name in results:
+            if name not in names:
+                names.append(name)
+    names.sort()
+    header = "".join(f"<th>{_esc(label)}</th>" for label, _ in docs)
+    body_rows = []
+    baseline_results = docs[0][1]
+    for name in names:
+        cells = []
+        base = baseline_results.get(name, {}).get("min_s")
+        for _, results in docs:
+            entry = results.get(name)
+            if entry is None:
+                cells.append("<td>&mdash;</td>")
+                continue
+            min_s = entry.get("min_s", 0.0)
+            css = ""
+            if base and results is not baseline_results:
+                ratio = min_s / base
+                if ratio > 1.25:
+                    css = ' class="regressed"'
+                elif ratio < 0.9:
+                    css = ' class="improved"'
+            cells.append(f"<td{css}>{min_s * 1000:,.2f} ms</td>")
+        body_rows.append(f"<tr><td>{_esc(name)}</td>{''.join(cells)}</tr>")
+    return (
+        "<h2>Benchmark trend</h2>"
+        '<p class="meta">minimum observed time per benchmark; red marks a '
+        "&gt;25% regression vs the committed baseline, green a &gt;10% "
+        "improvement</p>"
+        f'<table class="summary"><tr><th>benchmark</th>{header}</tr>'
+        f"{''.join(body_rows)}</table>"
+    )
+
+
+# -- experiments --------------------------------------------------------------
+
+def _experiment_section(experiment, result) -> str:
+    figures = experiment.figures(result)
+    rendered = "".join(render_figure(fig) for fig in figures)
+    notes = "".join(
+        f'<p class="notes">{_esc(note)}</p>' for note in result.notes
+    )
+    table = _esc(experiment.render_text(result))
+    return (
+        f'<h3 id="{_esc(experiment.id)}">{_esc(experiment.id)} '
+        f"&mdash; {_esc(result.title)}</h3>"
+        f'<p class="meta">reproduces: {_esc(result.artifact)} &middot; '
+        f"{len(result.records)} record(s) &middot; "
+        f"{len(figures)} figure(s)</p>"
+        f"{rendered}{notes}"
+        f"<details><summary>data table</summary><pre>{table}</pre></details>"
+    )
+
+
+def _telemetry_section(timeline: Dict[str, object], label: str) -> str:
+    figures = timeline_figures(timeline)
+    if not figures:
+        return ""
+    rendered = "".join(render_figure(fig) for fig in figures)
+    return (
+        "<h2>Telemetry timeline</h2>"
+        f'<p class="meta">{_esc(label)} &middot; sampled at '
+        f"{timeline.get('hz')} Hz simulated &middot; "
+        f"{len(timeline.get('times', []))} samples</p>"
+        f"{rendered}"
+    )
+
+
+# -- page ---------------------------------------------------------------------
+
+def build_report(
+    experiments: Sequence[object],
+    results: Dict[str, object],
+    timeline: Optional[Dict[str, object]] = None,
+    timeline_label: str = "",
+    manifest_path: Optional[str] = None,
+    root: Optional[str] = None,
+    subtitle: str = "",
+) -> str:
+    """Assemble the self-contained HTML report page.
+
+    Args:
+        experiments: Experiment instances, in display order.
+        results: their analyzed ExperimentResults keyed by experiment id.
+        timeline: a sampled telemetry timeline dict to plot, if any.
+        timeline_label: caption for the telemetry section.
+        manifest_path: sweep run-manifest JSONL to summarize, if any.
+        root: repository root for the benchmark trend (skipped if None).
+        subtitle: free-text line under the page title.
+    """
+    backend = "matplotlib" if matplotlib_available() else "inline SVG"
+    sections: List[str] = []
+    toc = "".join(
+        f'<li><a href="#{_esc(e.id)}">{_esc(e.id)}</a></li>'
+        for e in experiments
+    )
+    if experiments:
+        sections.append(f"<h2>Experiments</h2><ul class='meta'>{toc}</ul>")
+        for experiment in experiments:
+            result = results.get(experiment.id)
+            if result is None:
+                continue
+            sections.append(_experiment_section(experiment, result))
+    if timeline:
+        sections.append(_telemetry_section(timeline, timeline_label))
+    if manifest_path:
+        sections.append(_manifest_section(summarize_manifest(manifest_path)))
+    if root is not None:
+        sections.append(_bench_section(root))
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        "<title>repro report</title>"
+        f"<style>{_CSS}</style></head><body>"
+        "<h1>repro report &mdash; AgileWatts (MICRO 2022)</h1>"
+        f'<p class="meta">report v{REPORT_VERSION} &middot; '
+        f"figure backend: {backend}"
+        f"{' &middot; ' + _esc(subtitle) if subtitle else ''}</p>"
+        f"{''.join(sections)}"
+        "</body></html>"
+    )

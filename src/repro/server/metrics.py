@@ -44,6 +44,10 @@ class RunResult:
             so the cluster result carries the fleet-wide count).
         peak_pending_events: perf counter — high-water mark of the event
             heap; the memory bound streaming event sources maintain.
+        timeline: telemetry runs only — the JSON-safe simulated-time
+            series dict sampled by :class:`~repro.obs.timeline.
+            TimelineSampler` (``None`` unless ``telemetry_hz`` was set,
+            so untracked results and their records are unchanged).
     """
 
     config_name: str
@@ -64,6 +68,7 @@ class RunResult:
     hedges_issued: int = 0
     events_processed: int = 0
     peak_pending_events: int = 0
+    timeline: Optional[Dict[str, object]] = None
 
     # -- latency views ------------------------------------------------------
     @property

@@ -75,7 +75,7 @@ class _Request:
     list, so a steady-state run allocates O(max in-flight) of them total
     rather than one per arrival."""
 
-    __slots__ = ("arrival", "on_complete")
+    __slots__ = ("arrival", "on_complete", "trace_id")
 
     def __init__(self, arrival: float = 0.0,
                  on_complete: Optional[Callable[[float], None]] = None):
@@ -83,6 +83,9 @@ class _Request:
         #: Cluster hook: called with the completion time when the request
         #: finishes service (see :meth:`ServerNode.inject`).
         self.on_complete = on_complete
+        #: Span id for trace export; only written inside ``trace.enabled``
+        #: branches (stale values on recycled requests are never read).
+        self.trace_id = 0
 
 
 class _CoreRuntime:
@@ -144,6 +147,7 @@ class ServerNode:
         fast_path: bool = True,
         sketch_error: Optional[float] = None,
         loadgen: Optional[LoadGenerator] = None,
+        telemetry_hz: Optional[float] = None,
     ):
         if cores <= 0:
             raise ConfigurationError("need at least one core")
@@ -223,6 +227,14 @@ class ServerNode:
         #: the load signal cluster balancers read.
         self.in_flight = 0
         self.trace = trace if trace is not None else NULL_TRACE
+        #: Monotone id stamped on traced requests (advanced only inside
+        #: ``trace.enabled`` branches, so untraced runs never touch it).
+        self._trace_seq = 0
+        #: Telemetry sampling rate in simulated Hz. Only standalone nodes
+        #: (which own their simulator) arm a sampler in :meth:`run`;
+        #: cluster-embedded nodes are sampled by the cluster's sampler on
+        #: the shared simulator.
+        self.telemetry_hz = telemetry_hz
         #: Recycled :class:`_Request` instances.
         self._request_pool: List[_Request] = []
         san = self.sim.sanitizer
@@ -316,6 +328,12 @@ class ServerNode:
             request.on_complete = on_complete
         else:
             request = _Request(arrival, on_complete)
+        trace = self.trace
+        if trace.enabled:
+            span = self._trace_seq
+            self._trace_seq = span + 1
+            request.trace_id = span
+            trace.record(arrival, f"core{index}", "arrival", span)
         rt.queue.append(request)
         mode = rt.mode
         if mode is _ACTIVE:
@@ -343,8 +361,13 @@ class ServerNode:
         arrival = request.arrival
         on_complete = request.on_complete
         request.on_complete = None
-        self._pool_append(request)
         now = self.sim.now
+        trace = self.trace
+        if trace.enabled:
+            trace.record(
+                now, f"core{rt.core.core_id}", "complete", request.trace_id
+            )
+        self._pool_append(request)
         self._latency_add(now - arrival)
         self.completed += 1
         self.in_flight -= 1
@@ -428,6 +451,41 @@ class ServerNode:
         if rt.mode is _IDLE and rt.snoop_token == token:
             rt.core.end_snoop_service(self.sim.now)
 
+    # -- telemetry ------------------------------------------------------------------
+    def telemetry_sample(self, time: float) -> Dict[str, float]:
+        """Instantaneous observables for the telemetry probes (read-only).
+
+        Reads the package's O(1) incremental power accounting, the
+        non-mutating mid-run energy integral, per-core C-state occupancy
+        and queue depths. Called from the engine tick hook, so it must
+        never mutate simulation state — in particular it must not touch
+        ``Core.snapshot`` (which closes accounting).
+        """
+        queued = 0
+        frequency_hz = 0.0
+        counts: Dict[str, int] = {}
+        for rt in self._runtimes:
+            queued += len(rt.queue)
+            core = rt.core
+            frequency_hz += core.frequency.frequency_hz
+            name = core.state.name
+            counts[name] = counts.get(name, 0) + 1
+        package_power, core_power, energy_j = self.package.telemetry_power(time)
+        row = {
+            "package_power": package_power,
+            "core_power": core_power,
+            "energy_j": energy_j,
+            "in_flight": float(self.in_flight),
+            "queued": float(queued),
+            "frequency_ghz": frequency_hz / (1e9 * self.n_cores),
+            "completed": float(self.completed),
+        }
+        # sorted(): series layout must be a function of the state names,
+        # not of per-run dict insertion history (DET005 discipline).
+        for name in sorted(counts):
+            row["cstate." + name] = float(counts[name])
+        return row
+
     # -- run ------------------------------------------------------------------------
     def start(self) -> None:
         """Arm this node's event sources on its simulator.
@@ -443,8 +501,18 @@ class ServerNode:
     def run(self) -> RunResult:
         """Simulate the full horizon and aggregate the observables."""
         self.start()
+        sampler = None
+        if self.telemetry_hz is not None:
+            from repro.obs.timeline import TimelineSampler
+
+            sampler = TimelineSampler(self.telemetry_hz, [self])
+            sampler.attach(self.sim)
         self.sim.run(until=self.horizon)
-        return self.collect()
+        result = self.collect()
+        if sampler is not None:
+            self.sim.clear_tick_hook()
+            result.timeline = sampler.finish()
+        return result
 
     def collect(self) -> RunResult:
         """Aggregate the observables after the simulator has run."""

@@ -108,6 +108,13 @@ class Simulator:
         self.sanitizer: Optional[_sanitizer.SimSanitizer] = (
             _sanitizer.SimSanitizer() if _sanitizer.is_enabled() else None
         )
+        # Telemetry tick hook (see set_tick_hook): None unless a
+        # TimelineSampler attached, in which case run() dispatches to the
+        # _run_ticked twin loop. The hot loop itself is untouched, so
+        # probes-off costs exactly one branch per run() call.
+        self._tick_hook: Optional[Callable[[float], None]] = None
+        self._tick_hz = 0.0
+        self._tick_index = 0
 
     # -- clock ---------------------------------------------------------------
     @property
@@ -203,6 +210,48 @@ class Simulator:
         if len(queue) > self._peak_pending:
             self._peak_pending = len(queue)
 
+    # -- telemetry ticks ---------------------------------------------------------
+    def set_tick_hook(self, hz: float, callback: Callable[[float], None]) -> None:
+        """Install a simulated-time tick hook firing at ``hz`` Hz.
+
+        ``callback(tick_time)`` is invoked from :meth:`run` at every tick
+        boundary ``k / hz`` — *before* any event scheduled at or after
+        that instant executes, so the callback observes the
+        piecewise-constant simulation state as it stands at the tick.
+        Ticks are not heap events: they consume no sequence numbers, do
+        not count toward :attr:`events_processed` and cannot reorder
+        anything, so a run with a hook attached executes the exact same
+        event sequence as one without (the bit-identity contract the
+        telemetry probes rely on).
+
+        The hook must treat the simulation as read-only. Only one hook
+        may be installed at a time.
+
+        Raises:
+            SimulationError: if a hook is already installed or ``hz`` is
+                not a positive finite rate.
+        """
+        if self._tick_hook is not None:
+            raise SimulationError("simulator already has a tick hook")
+        if not (hz > 0) or not math.isfinite(hz):
+            raise SimulationError(f"tick rate must be positive and finite, got {hz}")
+        self._tick_hook = callback
+        self._tick_hz = float(hz)
+        # First tick = smallest k with k / hz >= now (k = 0 at time zero,
+        # so the initial state is always sampled). ceil() on the product
+        # can land one off either way at representation boundaries; the
+        # two correction loops run at most once each.
+        index = int(math.ceil(self.now * hz))
+        while index / hz < self.now:
+            index += 1
+        while index > 0 and (index - 1) / hz >= self.now:
+            index -= 1
+        self._tick_index = index
+
+    def clear_tick_hook(self) -> None:
+        """Remove the telemetry tick hook. Idempotent."""
+        self._tick_hook = None
+
     # -- execution -------------------------------------------------------------
     def step(self) -> bool:
         """Execute the next pending event. Returns False if queue is empty."""
@@ -229,6 +278,9 @@ class Simulator:
         """
         if self.sanitizer is not None:
             self._run_checked(until, max_events)
+            return
+        if self._tick_hook is not None:
+            self._run_ticked(until, max_events)
             return
         if self._running:
             raise SimulationError("simulator is not re-entrant")
@@ -266,6 +318,67 @@ class Simulator:
             self._running = False
         if until is not None and self.now < until:
             self.now = until
+
+    def _run_ticked(
+        self, until: Optional[float], max_events: Optional[int]
+    ) -> None:
+        """Twin of :meth:`run` interleaving telemetry ticks between events.
+
+        Kept as a separate loop so the probes-off hot path stays exactly
+        as fast. Ticks at ``k / hz`` fire before any event at or after
+        that instant; they are not heap events, so the event sequence,
+        sequence numbers and counters are bit-identical to an untracked
+        run. Remaining ticks up to ``until`` fire after the last event so
+        a ``run(until=horizon)`` samples the full horizon; when the
+        ``max_events`` budget stops the run early, pending ticks stay
+        pending for the next call.
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        queue = self._queue
+        heappop = heapq.heappop
+        event_class = Event
+        until_t = math.inf if until is None else until
+        budget = math.inf if max_events is None else max_events
+        executed = 0
+        hook = self._tick_hook
+        assert hook is not None
+        hz = self._tick_hz
+        index = self._tick_index
+        try:
+            while queue:
+                entry = heappop(queue)
+                payload = entry[2]
+                if payload.__class__ is event_class:
+                    if payload.cancelled:
+                        continue
+                    payload = payload.callback
+                time = entry[0]
+                if time > until_t or executed >= budget:
+                    heapq.heappush(queue, entry)
+                    break
+                tick = index / hz
+                while tick <= time:
+                    hook(tick)
+                    index += 1
+                    tick = index / hz
+                self.now = time
+                executed += 1
+                self._events_processed += 1
+                payload()
+        finally:
+            self._tick_index = index
+            self._running = False
+        if until is not None:
+            tick = index / hz
+            while tick <= until_t:
+                hook(tick)
+                index += 1
+                tick = index / hz
+            self._tick_index = index
+            if self.now < until:
+                self.now = until
 
     def _run_checked(
         self, until: Optional[float], max_events: Optional[int]
@@ -333,6 +446,13 @@ class Simulator:
                 if time > until_t or executed >= budget:
                     heapq.heappush(queue, entry)
                     break
+                hook = self._tick_hook
+                if hook is not None:
+                    tick = self._tick_index / self._tick_hz
+                    while tick <= time:
+                        hook(tick)
+                        self._tick_index += 1
+                        tick = self._tick_index / self._tick_hz
                 last_time = time
                 last_seq = seq
                 self.now = time
@@ -342,8 +462,16 @@ class Simulator:
                 san.tick()
         finally:
             self._running = False
-        if until is not None and self.now < until:
-            self.now = until
+        if until is not None:
+            hook = self._tick_hook
+            if hook is not None:
+                tick = self._tick_index / self._tick_hz
+                while tick <= until_t:
+                    hook(tick)
+                    self._tick_index += 1
+                    tick = self._tick_index / self._tick_hz
+            if self.now < until:
+                self.now = until
         san.flush()
 
     def drain(self) -> None:

@@ -16,6 +16,8 @@ from repro.store.result_store import (
     default_store_dir,
 )
 from repro.store.serialize import (
+    FORMAT_VERSION,
+    SUPPORTED_VERSIONS,
     decode_samples,
     encode_samples,
     result_from_dict,
@@ -23,6 +25,8 @@ from repro.store.serialize import (
 )
 
 __all__ = [
+    "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
     "ResultStore",
     "code_version_salt",
     "default_store_dir",

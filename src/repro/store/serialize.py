@@ -30,11 +30,13 @@ from repro.simkit.stats import PercentileTracker
 #: Bump when the record layout changes; readers treat other values as a miss.
 #: v2: added the events_processed / peak_pending_events perf counters.
 #: v3: latency may be a DDSketch state blob instead of raw samples.
-FORMAT_VERSION = 3
+#: v4: optional telemetry timeline (null when the run sampled none).
+FORMAT_VERSION = 4
 
 #: Formats :func:`result_from_dict` can decode. v2 rows predate the
-#: sketch backend and always carry exact samples.
-SUPPORTED_VERSIONS = (2, 3)
+#: sketch backend and always carry exact samples; v2/v3 rows simply
+#: decode with no timeline.
+SUPPORTED_VERSIONS = (2, 3, 4)
 
 
 def encode_samples(samples: Sequence[float]) -> str:
@@ -88,6 +90,9 @@ def result_to_dict(result: RunResult) -> Dict[str, object]:
         "hedges_issued": result.hedges_issued,
         "events_processed": result.events_processed,
         "peak_pending_events": result.peak_pending_events,
+        # Telemetry timeline (plain JSON floats/lists) or null; JSON
+        # round-trips the sampled floats exactly.
+        "timeline": result.timeline,
     }
 
 
@@ -131,6 +136,7 @@ def result_from_dict(data: Dict[str, Any]) -> RunResult:
             hedges_issued=data.get("hedges_issued", 0),
             events_processed=data.get("events_processed", 0),
             peak_pending_events=data.get("peak_pending_events", 0),
+            timeline=data.get("timeline"),
         )
     except (KeyError, TypeError, ValueError, struct.error, zlib.error) as exc:
         raise ConfigurationError(f"corrupt result record: {exc}") from exc

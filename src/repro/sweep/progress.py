@@ -5,12 +5,15 @@ tty, and plain one-line-per-point output when it is not (CI logs, pipes).
 Implements the runner's ``ProgressHook`` protocol — ``(done, total,
 spec)`` — so the same instance threads through every sweep a command
 triggers, whether it came from an experiment module or a declarative
-grid.
+grid. The meter shows throughput (points/sec) and an ETA once at least
+one point has settled, plus live memo/store hit counts fed by the
+runner via :meth:`ProgressRenderer.note_hits`.
 """
 
 from __future__ import annotations
 
 import sys
+from time import monotonic
 from typing import Optional, TextIO
 
 from repro.sweep.spec import ScenarioSpec
@@ -35,13 +38,55 @@ class ProgressRenderer:
         self._tty = bool(isatty()) if callable(isatty) else False
         self._line_open = False
         self._last_width = 0
+        # Set on the first progress callback; rate/ETA measure the span
+        # from the first settled point to now (the first point's own
+        # duration is unobservable from settle events alone).
+        self._t0: Optional[float] = None
+        self._memo_hits = 0
+        self._store_hits = 0
+
+    def note_hits(self, memo_hits: int, store_hits: int) -> None:
+        """Runner hook: points answered by the memo cache / the store.
+
+        Called by :class:`~repro.sweep.runner.SweepRunner` before the
+        executor starts (duck-typed — plain-callable progress hooks
+        simply never hear about hits). Counts accumulate across sweeps
+        so a multi-sweep command (e.g. several experiments) shows the
+        session total.
+        """
+        self._memo_hits += memo_hits
+        self._store_hits += store_hits
+
+    def _suffix(self, done: int, total: int, now: float) -> str:
+        """Rate/ETA/hits tail of the meter line (may be empty)."""
+        parts = []
+        if self._t0 is not None and done > 1:
+            elapsed = now - self._t0
+            if elapsed > 0:
+                # done-1 points settled over the observed span.
+                rate = (done - 1) / elapsed
+                parts.append(f"{rate:.1f} pts/s")
+                if rate > 0 and total > done:
+                    parts.append(f"ETA {(total - done) / rate:.0f}s")
+        hits = []
+        if self._memo_hits:
+            hits.append(f"{self._memo_hits} memo")
+        if self._store_hits:
+            hits.append(f"{self._store_hits} store")
+        if hits:
+            parts.append("hits: " + " + ".join(hits))
+        return " | " + ", ".join(parts) if parts else ""
 
     def __call__(self, done: int, total: int, spec: ScenarioSpec) -> None:
+        now = monotonic()
+        if self._t0 is None:
+            self._t0 = now
         desc = f"{spec.workload}/{spec.config} @ {spec.qps / 1000:.0f}K QPS"
+        suffix = self._suffix(done, total, now)
         if self._tty:
             filled = int(BAR_WIDTH * done / total) if total else BAR_WIDTH
             bar = "#" * filled + "-" * (BAR_WIDTH - filled)
-            line = f"{self.label}: [{bar}] {done}/{total} {desc}"
+            line = f"{self.label}: [{bar}] {done}/{total} {desc}{suffix}"
             # Pad to blot out whatever remains of a longer previous line.
             padded = line.ljust(self._last_width)
             self._last_width = len(line)
@@ -52,7 +97,7 @@ class ProgressRenderer:
                 self._line_open = False
                 self._last_width = 0
         else:
-            self.stream.write(f"{self.label}: [{done}/{total}] {desc}\n")
+            self.stream.write(f"{self.label}: [{done}/{total}] {desc}{suffix}\n")
         self.stream.flush()
 
     def close(self) -> None:

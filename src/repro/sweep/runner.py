@@ -31,6 +31,7 @@ changes wall-clock time.
 
 from __future__ import annotations
 
+import inspect
 import multiprocessing
 from collections import deque
 from concurrent.futures import (
@@ -41,7 +42,16 @@ from concurrent.futures import (
 )
 from dataclasses import dataclass
 from time import monotonic, sleep
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.cluster.balancer import (
     BALANCER_FACTORIES,
@@ -58,6 +68,9 @@ from repro.sweep.spec import (
     ScenarioGrid,
     ScenarioSpec,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.manifest import RunManifest
 
 #: ``progress(done, total, spec)`` — called after each point settles
 #: (success *or* terminal failure), so meters always reach ``total``.
@@ -161,6 +174,46 @@ def _describe(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}"
 
 
+def _manifest_finished(
+    manifest: Optional["RunManifest"],
+    index: int,
+    spec: ScenarioSpec,
+    attempt: int,
+    result: RunResult,
+    wall_s: float,
+) -> None:
+    """Emit a point's ``finished`` manifest line (no-op without manifest)."""
+    if manifest is None:
+        return
+    from repro.obs.manifest import spec_key
+
+    manifest.emit(
+        "finished",
+        point=index,
+        attempt=attempt,
+        key=spec_key(spec),
+        wall_s=round(wall_s, 6),
+        events_per_s=(
+            result.events_processed / wall_s if wall_s > 0 else None
+        ),
+    )
+
+
+def _manifest_emit(
+    manifest: Optional["RunManifest"],
+    event: str,
+    index: int,
+    spec: ScenarioSpec,
+    **fields: object,
+) -> None:
+    """Emit one point-scoped manifest line (no-op without manifest)."""
+    if manifest is None:
+        return
+    from repro.obs.manifest import spec_key
+
+    manifest.emit(event, point=index, key=spec_key(spec), **fields)
+
+
 def find_unregistered(specs: Sequence[ScenarioSpec]):
     """Workload/governor names that worker processes would resolve wrongly.
 
@@ -261,17 +314,28 @@ class SerialExecutor:
         on_result: Optional[Callable[[int, ScenarioSpec, RunResult], None]] = None,
         on_failure: Optional[FailureHook] = None,
         log: Optional[LogHook] = None,
+        manifest: Optional["RunManifest"] = None,
     ) -> List[Optional[Union[RunResult, PointFailure]]]:
         results: List[Optional[Union[RunResult, PointFailure]]] = [None] * len(specs)
         for i, spec in enumerate(specs):
             attempts = 0
             while True:
                 attempts += 1
+                _manifest_emit(manifest, "claimed", i, spec, attempt=attempts)
+                started = monotonic()
                 try:
                     result = self._execute(spec)
                 except Exception as exc:
                     if attempts <= self.policy.retries:
+                        _manifest_emit(
+                            manifest, "retry", i, spec,
+                            attempt=attempts, error=_describe(exc),
+                        )
                         continue
+                    _manifest_emit(
+                        manifest, "failed", i, spec,
+                        attempt=attempts, error=_describe(exc),
+                    )
                     if self.policy.mode == RAISE:
                         raise
                     failure = PointFailure(spec, _describe(exc), attempts)
@@ -281,6 +345,10 @@ class SerialExecutor:
                         on_failure(i, spec, failure)
                     break
                 else:
+                    _manifest_finished(
+                        manifest, i, spec, attempts, result,
+                        monotonic() - started,
+                    )
                     results[i] = result
                     if on_result is not None:
                         on_result(i, spec, result)
@@ -500,6 +568,7 @@ class ProcessExecutor:
         on_result: Optional[Callable[[int, ScenarioSpec, RunResult], None]] = None,
         on_failure: Optional[FailureHook] = None,
         log: Optional[LogHook] = None,
+        manifest: Optional["RunManifest"] = None,
     ) -> List[Optional[Union[RunResult, PointFailure]]]:
         if not specs:
             return []
@@ -508,7 +577,7 @@ class ProcessExecutor:
             # workers, so no registry constraints). Not when a timeout is
             # set: only the pool path can enforce one.
             return SerialExecutor(self.policy).map_specs(
-                specs, on_result, on_failure, log=log
+                specs, on_result, on_failure, log=log, manifest=manifest
             )
         _check_worker_registries(specs)
 
@@ -537,6 +606,9 @@ class ProcessExecutor:
         # _KillablePoint); they count against the submission window like
         # pool workers so total concurrency stays bounded at ``jobs``.
         killable: List[_KillablePoint] = []
+        # Submission times, for per-point wall_s in the run manifest
+        # (keyed by future or _KillablePoint).
+        starts: Dict[object, float] = {}
         #: Poll cadence while waiting on an occupied worker to free up.
         poll_interval = 0.05
 
@@ -544,8 +616,16 @@ class ProcessExecutor:
             if first_error[0] is not None:
                 return  # already aborting; drop secondary failures
             if attempt <= policy.retries:
+                _manifest_emit(
+                    manifest, "retry", i, specs[i],
+                    attempt=attempt, error=_describe(exc),
+                )
                 queue.append((i, attempt + 1))
                 return
+            _manifest_emit(
+                manifest, "failed", i, specs[i],
+                attempt=attempt, error=_describe(exc),
+            )
             if policy.mode == RAISE:
                 first_error[0] = exc
                 # Stop feeding the pool and cancel everything not yet
@@ -595,12 +675,21 @@ class ProcessExecutor:
                     ):
                         # Too big to merely abandon on timeout: dedicated
                         # process, enforced with terminate().
-                        killable.append(
-                            _KillablePoint(i, attempt, specs[i], deadline)
+                        _manifest_emit(
+                            manifest, "claimed", i, specs[i],
+                            attempt=attempt, lane="killable",
                         )
+                        kp = _KillablePoint(i, attempt, specs[i], deadline)
+                        killable.append(kp)
+                        starts[kp] = monotonic()
                         continue
+                    _manifest_emit(
+                        manifest, "claimed", i, specs[i],
+                        attempt=attempt, lane="pool",
+                    )
                     future = pool.submit(_execute_spec_dict, specs[i].to_dict())
                     active[future] = (i, attempt, deadline)
+                    starts[future] = monotonic()
                 if not active and not killable:
                     if queue:
                         # Every worker is occupied by an abandoned point;
@@ -635,6 +724,7 @@ class ProcessExecutor:
                     done = set()
                 for future in done:
                     i, attempt, _ = active.pop(future)
+                    wall_s = monotonic() - starts.pop(future, monotonic())
                     try:
                         result = future.result()
                     except CancelledError:
@@ -642,6 +732,9 @@ class ProcessExecutor:
                     except Exception as exc:
                         settle_failure(i, attempt, exc)
                     else:
+                        _manifest_finished(
+                            manifest, i, specs[i], attempt, result, wall_s
+                        )
                         results[i] = result
                         if on_result is not None:
                             on_result(i, specs[i], result)
@@ -652,8 +745,13 @@ class ProcessExecutor:
                     if outcome is None:
                         continue
                     killable.remove(kp)
+                    wall_s = monotonic() - starts.pop(kp, monotonic())
                     kind, payload = outcome
                     if kind == "ok":
+                        _manifest_finished(
+                            manifest, kp.index, specs[kp.index],
+                            kp.attempt, payload, wall_s,
+                        )
                         results[kp.index] = payload
                         if on_result is not None:
                             on_result(kp.index, specs[kp.index], payload)
@@ -668,6 +766,7 @@ class ProcessExecutor:
                     ]
                     for future in overdue:
                         i, attempt, _ = active.pop(future)
+                        wall_s = monotonic() - starts.pop(future, monotonic())
                         if future.done() and not future.cancelled():
                             # Completed since the wait() snapshot: harvest
                             # the result rather than discarding real work.
@@ -676,10 +775,18 @@ class ProcessExecutor:
                             except Exception as exc:
                                 settle_failure(i, attempt, exc)
                             else:
+                                _manifest_finished(
+                                    manifest, i, specs[i], attempt,
+                                    result, wall_s,
+                                )
                                 results[i] = result
                                 if on_result is not None:
                                     on_result(i, specs[i], result)
                             continue
+                        _manifest_emit(
+                            manifest, "timeout", i, specs[i],
+                            attempt=attempt, budget_s=policy.timeout,
+                        )
                         if not future.cancel():
                             # Still running: the worker stays occupied
                             # until the simulation finishes on its own.
@@ -704,18 +811,27 @@ class ProcessExecutor:
                         if kp not in killable or kp.deadline > now:
                             continue
                         killable.remove(kp)
+                        wall_s = monotonic() - starts.pop(kp, monotonic())
                         outcome = kp.poll()
                         if outcome is not None:
                             # Finished under the wire since the harvest
                             # pass: keep the real work.
                             kind, payload = outcome
                             if kind == "ok":
+                                _manifest_finished(
+                                    manifest, kp.index, specs[kp.index],
+                                    kp.attempt, payload, wall_s,
+                                )
                                 results[kp.index] = payload
                                 if on_result is not None:
                                     on_result(kp.index, specs[kp.index], payload)
                             else:
                                 settle_failure(kp.index, kp.attempt, payload)
                             continue
+                        _manifest_emit(
+                            manifest, "killed", kp.index, kp.spec,
+                            attempt=kp.attempt, budget_s=policy.timeout,
+                        )
                         kp.kill()
                         if log is not None:
                             # Name the cache key so the killed point is
@@ -776,6 +892,12 @@ class SweepRunner:
         policy: :class:`FailurePolicy` for string-named executors
             (ignored when ``executor`` is an instance, which carries its
             own policy).
+        manifest: optional :class:`~repro.obs.manifest.RunManifest` —
+            every sweep appends point-lifecycle JSONL events (claimed/
+            finished/memo_hit/store_hit/retry/timeout/killed) to it.
+            Forwarded to executors whose ``map_specs`` accepts a
+            ``manifest`` keyword (custom executors without it still
+            work; they just contribute no per-point events).
     """
 
     def __init__(
@@ -787,12 +909,14 @@ class SweepRunner:
         log: Optional[LogHook] = None,
         store=None,
         policy: Optional[FailurePolicy] = None,
+        manifest: Optional["RunManifest"] = None,
     ):
         self.executor = _make_executor(executor, jobs, policy)
         self.cache = _SHARED_CACHE if cache is None else cache
         self.progress = progress
         self.log = log
         self.store = store
+        self.manifest = manifest
         #: Terminal failures from the most recent run_many, by cache key.
         self.last_failures: Dict[CacheKey, PointFailure] = {}
 
@@ -818,9 +942,17 @@ class SweepRunner:
         specs = list(specs)
         self.last_failures = {}
         unique: Dict[CacheKey, ScenarioSpec] = {}
-        for spec in specs:
+        first_index: Dict[CacheKey, int] = {}
+        for i, spec in enumerate(specs):
             unique.setdefault(spec.cache_key, spec)
-        memo_hits = sum(1 for key in unique if key in self.cache)
+            first_index.setdefault(spec.cache_key, i)
+        memo_hits = 0
+        for key, spec in unique.items():
+            if key in self.cache:
+                memo_hits += 1
+                _manifest_emit(
+                    self.manifest, "memo_hit", first_index[key], spec
+                )
         misses = [spec for key, spec in unique.items() if key not in self.cache]
 
         # The store is an accelerator, never a dependency: any I/O error
@@ -862,6 +994,10 @@ class SweepRunner:
                 else:
                     self.cache[spec.cache_key] = stored
                     store_hits += 1
+                    _manifest_emit(
+                        self.manifest, "store_hit",
+                        first_index[spec.cache_key], spec,
+                    )
             misses = remaining
 
         total = len(misses)
@@ -876,6 +1012,21 @@ class SweepRunner:
                 f"sweep: {len(specs)} points ({', '.join(parts)}) "
                 f"via {self.executor.name}"
             )
+        if self.manifest is not None and specs:
+            self.manifest.emit(
+                "sweep",
+                points=len(specs),
+                unique=len(unique),
+                to_simulate=total,
+                memo_hits=memo_hits,
+                store_hits=store_hits,
+                executor=getattr(
+                    self.executor, "name", type(self.executor).__name__
+                ),
+            )
+        note_hits = getattr(self.progress, "note_hits", None)
+        if callable(note_hits):
+            note_hits(memo_hits, store_hits)
 
         if misses:
             settled = [0]
@@ -920,8 +1071,22 @@ class SweepRunner:
                 if self.progress is not None:
                     self.progress(settled[0], total, spec)
 
+            extra: Dict[str, object] = {}
+            if self.manifest is not None:
+                # Forward the manifest only to executors that take it, so
+                # custom map_specs implementations keep working unchanged.
+                try:
+                    params = inspect.signature(
+                        self.executor.map_specs
+                    ).parameters
+                except (TypeError, ValueError):  # builtins / C callables
+                    params = {}
+                if "manifest" in params:
+                    extra["manifest"] = self.manifest
             try:
-                self.executor.map_specs(misses, on_result, on_failure, log=self.log)
+                self.executor.map_specs(
+                    misses, on_result, on_failure, log=self.log, **extra
+                )
             finally:
                 store_call(flush_writes)
 
@@ -977,12 +1142,13 @@ def configure_default_runner(
     log: Optional[LogHook] = None,
     store=None,
     policy: Optional[FailurePolicy] = None,
+    manifest: Optional["RunManifest"] = None,
 ) -> SweepRunner:
     """Replace the process-wide runner (keeps the shared cache)."""
     return set_default_runner(
         SweepRunner(
             executor=executor, jobs=jobs, progress=progress, log=log,
-            store=store, policy=policy,
+            store=store, policy=policy, manifest=manifest,
         )
     )
 

@@ -140,6 +140,13 @@ class ScenarioSpec:
             bounded-memory DDSketch backend with that relative-error
             guarantee — the fleet-scale knob (see
             :mod:`repro.simkit.sketch`).
+        telemetry_hz: ``None`` (default) disables the telemetry probes; a
+            positive rate samples simulated-time series at that many
+            samples per simulated second into ``RunResult.timeline``
+            (see :mod:`repro.obs.timeline`). Sampling never perturbs the
+            simulation — every other observable is bit-identical probes
+            on and off — but the result object differs (it carries the
+            timeline), so the knob is part of the cache identity.
     """
 
     workload: str
@@ -156,6 +163,7 @@ class ScenarioSpec:
     fanout: int = 1
     hedge_ms: Optional[float] = None
     sketch_error: Optional[float] = None
+    telemetry_hz: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.workload not in WORKLOAD_FACTORIES:
@@ -196,6 +204,10 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"sketch_error must be in (0, 1), got {self.sketch_error}"
             )
+        if self.telemetry_hz is not None and self.telemetry_hz <= 0:
+            raise ConfigurationError(
+                f"telemetry_hz must be positive, got {self.telemetry_hz}"
+            )
         # Canonicalise numeric types so 100000 and 100000.0 produce the
         # same frozen spec (and therefore the same cache key).
         object.__setattr__(self, "qps", float(self.qps))
@@ -208,6 +220,8 @@ class ScenarioSpec:
             object.__setattr__(self, "hedge_ms", float(self.hedge_ms))
         if self.sketch_error is not None:
             object.__setattr__(self, "sketch_error", float(self.sketch_error))
+        if self.telemetry_hz is not None:
+            object.__setattr__(self, "telemetry_hz", float(self.telemetry_hz))
         if self.nodes == 1:
             # With one node every policy routes everything to node 0, so
             # the balancer cannot affect results: canonicalise it (after
@@ -225,7 +239,11 @@ class ScenarioSpec:
         ``sketch_error`` joins the key only when set, so every exact-mode
         key (the universal default before the sketch backend existed)
         keeps its original shape — stored results and golden labels stay
-        addressable.
+        addressable. ``telemetry_hz`` follows the same pattern (and a
+        tagged one, since both are floats): the scalars of a telemetry
+        run are bit-identical to the untracked run, but the stored result
+        additionally carries the timeline, so the two are distinct store
+        rows.
         """
         key = (
             self.workload, self.config, self.qps, self.cores, self.horizon,
@@ -234,6 +252,8 @@ class ScenarioSpec:
         )
         if self.sketch_error is not None:
             key = key + (self.sketch_error,)
+        if self.telemetry_hz is not None:
+            key = key + ("telemetry", self.telemetry_hz)
         return key
 
     @property
@@ -353,6 +373,7 @@ class ScenarioSpec:
                 snoops_enabled=self.snoops,
                 governor_factory=self.governor_factory(),
                 sketch_error=self.sketch_error,
+                telemetry_hz=self.telemetry_hz,
             )
             return cluster.run()
 
@@ -368,6 +389,7 @@ class ScenarioSpec:
             snoops_enabled=self.snoops,
             governor_factory=self.governor_factory(),
             sketch_error=self.sketch_error,
+            telemetry_hz=self.telemetry_hz,
         )
         return node.run()
 
@@ -400,6 +422,7 @@ class ScenarioGrid:
         fanouts: Sequence[int] = (1,),
         hedge_ms: Optional[float] = None,
         sketch_error: Optional[float] = None,
+        telemetry_hz: Optional[float] = None,
     ) -> "ScenarioGrid":
         """Cartesian product over the given axes.
 
@@ -418,7 +441,7 @@ class ScenarioGrid:
                 workload=w, config=c, qps=q, cores=n, horizon=h, seed=s,
                 governor=g, turbo=turbo, snoops=snoops,
                 nodes=k, balancer=b, fanout=r, hedge_ms=hedge_ms,
-                sketch_error=sketch_error,
+                sketch_error=sketch_error, telemetry_hz=telemetry_hz,
             )
             for w in workloads
             for c in configs

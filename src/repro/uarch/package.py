@@ -120,6 +120,19 @@ class Package:
             total += core._energy_acc + core.current_power * span
         return total
 
+    def telemetry_power(self, time: float) -> "tuple[float, float, float]":
+        """``(package_power, core_power, core_energy_joules)`` at ``time``.
+
+        The read-only bundle the telemetry sampler
+        (:class:`repro.obs.timeline.TimelineSampler`) pulls on every
+        probe tick: instantaneous powers from the O(1) incremental
+        accumulator plus integrated core energy via
+        :meth:`energy_joules`. Never closes core accounting (unlike
+        :meth:`average_package_power`), so sampling mid-run cannot
+        perturb the simulation's observables.
+        """
+        return (self.package_power, self.core_power, self.energy_joules(time))
+
     @property
     def core_power(self) -> float:
         """Instantaneous sum of core powers (O(1) when incremental)."""

@@ -366,7 +366,7 @@ def test_spec003_version_bump_requires_manifest_refresh(tmp_path):
     spec, serialize, metrics, manifest = copy_project_fixture(tmp_path)
     source = open(serialize).read()
     open(serialize, "w").write(
-        source.replace("FORMAT_VERSION = 3", "FORMAT_VERSION = 4", 1)
+        source.replace("FORMAT_VERSION = 4", "FORMAT_VERSION = 5", 1)
     )
     findings = run_project_checks([spec, serialize, metrics], manifest)
     assert rule_ids(findings) == ["SPEC003"]

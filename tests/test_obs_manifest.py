@@ -1,0 +1,151 @@
+"""Sweep run manifests: the append-only JSONL lifecycle stream."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.manifest import RunManifest, spec_key
+from repro.obs.report import summarize_manifest
+from repro.sweep import FailurePolicy, SweepRunner
+from repro.sweep.spec import ScenarioSpec
+
+
+def _spec(**overrides):
+    base = dict(
+        workload="memcached", config="baseline", qps=20_000,
+        horizon=0.02, seed=7,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+def _lines(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestRunManifest:
+    def test_emits_flushed_jsonl_lines(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        with RunManifest(str(path), worker="w1") as manifest:
+            manifest.emit("claimed", point=0, attempt=1)
+            manifest.emit("finished", point=0, wall_s=0.5)
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [row["event"] for row in rows] == ["claimed", "finished"]
+        for row in rows:
+            assert row["worker"] == "w1"
+            assert row["t"] >= 0
+            assert row["wall"] > 0
+        assert rows[0]["t"] <= rows[1]["t"]
+
+    def test_append_mode_preserves_previous_runs(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        for attempt in (1, 2):
+            with RunManifest(str(path)) as manifest:
+                manifest.emit("sweep", attempt=attempt)
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [row["attempt"] for row in rows] == [1, 2]
+
+    def test_reserved_keys_cannot_be_overridden(self):
+        stream = io.StringIO()
+        manifest = RunManifest(stream)
+        manifest.emit("claimed", **{"worker": "spoofed", "t": -1})
+        row = _lines(stream)[0]
+        assert row["event"] == "claimed"
+        assert row["worker"] == "main"
+        assert row["t"] >= 0
+
+    def test_wrapped_stream_not_closed(self):
+        stream = io.StringIO()
+        with RunManifest(stream) as manifest:
+            manifest.emit("sweep")
+        assert not stream.closed
+        manifest.emit("late")  # closed manifest: silently dropped
+        assert len(_lines(stream)) == 1
+
+    def test_spec_key_is_the_cache_key(self):
+        spec = _spec()
+        assert spec_key(spec) == repr(tuple(spec.cache_key))
+
+
+class TestRunnerIntegration:
+    def _run(self, specs, stream=None, **runner_kwargs):
+        stream = stream if stream is not None else io.StringIO()
+        manifest = RunManifest(stream)
+        runner = SweepRunner(manifest=manifest, cache={}, **runner_kwargs)
+        results = runner.run_many(specs)
+        return results, _lines(stream)
+
+    def test_lifecycle_events_for_a_sweep(self):
+        specs = [_spec(), _spec(qps=30_000), _spec()]  # one duplicate
+        results, rows = self._run(specs)
+        assert all(r is not None for r in results)
+        events = [row["event"] for row in rows]
+        assert events[0] == "sweep"
+        assert events.count("claimed") == 2  # unique points only
+        assert events.count("finished") == 2
+        summary = rows[0]
+        assert summary["points"] == 3
+        assert summary["unique"] == 2  # in-sweep duplicates dedupe silently
+
+    def test_finished_carries_wall_time_and_throughput(self):
+        _, rows = self._run([_spec()])
+        finished = [row for row in rows if row["event"] == "finished"][0]
+        assert finished["wall_s"] > 0
+        assert finished["events_per_s"] > 0
+        assert finished["key"] == spec_key(_spec())
+        assert finished["attempt"] == 1
+
+    def test_memo_hit_on_repeat_run_many(self):
+        stream = io.StringIO()
+        manifest = RunManifest(stream)
+        runner = SweepRunner(manifest=manifest, cache={})
+        runner.run_many([_spec()])
+        runner.run_many([_spec()])
+        events = [row["event"] for row in _lines(stream)]
+        assert events.count("finished") == 1
+        assert events.count("memo_hit") == 1
+
+    def test_retry_and_failed_events(self, failing_workload):
+        specs = [_spec(workload=failing_workload)]
+        _, rows = self._run(
+            specs, policy=FailurePolicy(mode="skip", retries=1)
+        )
+        events = [row["event"] for row in rows]
+        assert events.count("retry") == 1
+        assert events.count("failed") == 1
+        failed = [row for row in rows if row["event"] == "failed"][0]
+        assert "kaboom" in failed["error"]
+
+    def test_custom_executor_without_manifest_param_still_works(self):
+        class BareExecutor:
+            def map_specs(self, specs, on_result, on_failure, log=None):
+                for i, spec in enumerate(specs):
+                    on_result(i, spec, spec.execute())
+
+        stream = io.StringIO()
+        manifest = RunManifest(stream)
+        runner = SweepRunner(executor=BareExecutor(), manifest=manifest, cache={})
+        results = runner.run_many([_spec()])
+        assert results[0] is not None
+        events = [row["event"] for row in _lines(stream)]
+        # the sweep summary still lands; per-point events need executor support
+        assert "sweep" in events
+
+
+class TestSummarize:
+    def test_summary_counts_and_rates(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        stream = io.StringIO()
+        manifest = RunManifest(stream)
+        runner = SweepRunner(manifest=manifest, cache={})
+        runner.run_many([_spec(), _spec(qps=40_000)])
+        runner.run_many([_spec()])  # memo hit on the repeat call
+        path.write_text(stream.getvalue() + "{truncated\n")
+        summary = summarize_manifest(str(path))
+        assert summary["counts"]["finished"] == 2
+        assert summary["counts"]["memo_hit"] == 1
+        assert summary["workers"] == ["main"]
+        assert summary["finished_wall_s"] > 0
+        assert summary["mean_events_per_s"] > 0
+        assert summary["malformed_lines"] == 1

@@ -1,0 +1,212 @@
+"""Chrome trace-event export: schema validity and span bookkeeping.
+
+Schema rules asserted here (the interchange contract Perfetto and
+``chrome://tracing`` parse):
+
+* every event has ``name``/``ph``/``pid``/``tid``; non-metadata events
+  have a numeric ``ts``;
+* ``"X"`` complete events carry a non-negative ``dur``;
+* async ``"b"``/``"e"`` events pair up per ``id`` (balanced, begin
+  before end);
+* the whole document survives a JSON round-trip.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.obs.chrometrace import (
+    LB_PID,
+    export_chrome_trace,
+    run_traced,
+    source_lane,
+    trace_to_chrome,
+)
+from repro.simkit.trace import TraceRecorder
+from repro.sweep.spec import ScenarioSpec
+
+VALID_PHASES = {"M", "X", "b", "e", "i", "n"}
+
+
+def _spec(**overrides):
+    base = dict(
+        workload="memcached", config="baseline", qps=60_000,
+        horizon=0.02, seed=42,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+def _chrome(spec, capacity=None):
+    result, trace = run_traced(spec, capacity=capacity)
+    return result, trace_to_chrome(
+        trace.events, horizon=result.horizon, dropped=trace.dropped
+    )
+
+
+def _check_schema(document):
+    events = document["traceEvents"]
+    assert events, "empty trace"
+    for event in events:
+        assert event["ph"] in VALID_PHASES
+        assert "name" in event and "pid" in event
+        if event["ph"] != "M":
+            assert isinstance(event["ts"], (int, float))
+            assert event["ts"] >= 0
+        if event["ph"] == "X":
+            assert event["dur"] >= 0
+        if event["ph"] in ("b", "e", "n"):
+            assert "id" in event
+    # JSON round-trip: the document is pure data.
+    assert json.loads(json.dumps(document)) == document
+
+
+class TestSourceLane:
+    def test_lane_mapping(self):
+        assert source_lane("core3") == (1, 3)
+        assert source_lane("n0.core0") == (1, 0)
+        assert source_lane("n4.core7") == (5, 7)
+        assert source_lane("lb") == (LB_PID, 0)
+        assert source_lane("n2.lb") == (LB_PID, 0)
+
+
+class TestStandaloneTrace:
+    def test_schema_valid(self):
+        _, document = _chrome(_spec())
+        _check_schema(document)
+
+    def test_cstate_intervals_are_gap_free_per_core(self):
+        result, document = _chrome(_spec())
+        by_lane = {}
+        for event in document["traceEvents"]:
+            if event["ph"] == "X":
+                by_lane.setdefault((event["pid"], event["tid"]), []).append(event)
+        assert by_lane
+        horizon_us = result.horizon * 1e6
+        for lane, intervals in by_lane.items():
+            intervals.sort(key=lambda e: e["ts"])
+            for prev, nxt in zip(intervals, intervals[1:]):
+                assert prev["ts"] + prev["dur"] == pytest.approx(nxt["ts"]), lane
+            last = intervals[-1]
+            assert last["ts"] + last["dur"] <= horizon_us * (1 + 1e-9)
+
+    def test_idle_spans_alternate_with_c0(self):
+        _, document = _chrome(_spec())
+        lanes = {}
+        for event in document["traceEvents"]:
+            if event["ph"] == "X":
+                lanes.setdefault((event["pid"], event["tid"]), []).append(event)
+        names = {e["name"] for events in lanes.values() for e in events}
+        assert "C0" in names
+        assert names - {"C0"}, "no idle states recorded"
+        for events in lanes.values():
+            events.sort(key=lambda e: e["ts"])
+            for prev, nxt in zip(events, events[1:]):
+                # strict alternation: never two C0 (or two idle) in a row
+                assert (prev["name"] == "C0") != (nxt["name"] == "C0")
+
+    def test_request_spans_balance_and_match_completions(self):
+        result, document = _chrome(_spec())
+        begins = [e for e in document["traceEvents"]
+                  if e["ph"] == "b" and e["name"] == "request"]
+        ends = [e for e in document["traceEvents"]
+                if e["ph"] == "e" and e["name"] == "request"]
+        assert len(ends) == result.completed
+        assert len(begins) >= len(ends)
+        open_ids = {e["id"] for e in begins}
+        for end in ends:
+            assert end["id"] in open_ids
+
+    def test_trace_does_not_change_results(self):
+        spec = _spec()
+        result, _ = run_traced(spec)
+        plain = spec.execute()
+        assert result.completed == plain.completed
+        assert result.package_power == plain.package_power
+        assert result.events_processed == plain.events_processed
+
+    def test_dropped_events_surface_in_metadata(self):
+        _, document = _chrome(_spec(), capacity=100)
+        assert len(document["traceEvents"]) <= 200
+        assert document["metadata"]["dropped_events"] > 0
+
+
+class TestClusterTrace:
+    def test_cluster_schema_valid(self):
+        _, document = _chrome(_spec(nodes=3, qps=120_000, balancer="jsq"))
+        _check_schema(document)
+        pids = {e["pid"] for e in document["traceEvents"]}
+        assert LB_PID in pids
+        assert {1, 2, 3} <= pids
+
+    def test_fanout_leaf_spans_balance(self):
+        _, document = _chrome(_spec(nodes=4, fanout=2, qps=100_000))
+        begun = sorted(e["id"] for e in document["traceEvents"]
+                       if e["ph"] == "b" and e["name"] == "leaf")
+        done = sorted(e["id"] for e in document["traceEvents"]
+                      if e["ph"] == "e" and e["name"] == "leaf")
+        assert begun and done
+        assert set(done) <= set(begun)
+
+    def test_hedge_marks_share_the_raced_leaf_span_id(self):
+        _, document = _chrome(
+            _spec(nodes=4, fanout=2, hedge_ms=0.02, qps=150_000, horizon=0.03)
+        )
+        hedges = [e for e in document["traceEvents"] if e["ph"] == "n"]
+        assert hedges, "no hedges fired; lower hedge_ms"
+        leaf_ids = {e["id"] for e in document["traceEvents"]
+                    if e["ph"] == "b" and e["name"] == "leaf"}
+        for hedge in hedges:
+            assert hedge["id"] in leaf_ids
+            assert "alt" in hedge["args"]
+
+    def test_one_node_cluster_trace_matches_standalone(self):
+        """A 1-node cluster's node-side events equal the standalone
+        node's, modulo the ``n0.`` source prefix and the lb lane."""
+        spec = _spec(qps=40_000)
+        _, standalone = run_traced(spec)
+        _, cluster = run_traced(dataclasses.replace(spec, nodes=1, balancer="round_robin"))
+
+        def node_events(recorder, strip):
+            out = []
+            for event in recorder.events:
+                source = event.source
+                if source.endswith("lb"):
+                    continue
+                if strip and source.startswith("n0."):
+                    source = source[len("n0."):]
+                if event.kind in ("dispatch", "leaf", "leaf_done"):
+                    continue
+                out.append((round(event.time, 12), source, event.kind))
+            return out
+
+        assert node_events(cluster, strip=True) == node_events(standalone, strip=False)
+
+
+class TestExportFile:
+    def test_export_writes_loadable_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        meta = export_chrome_trace(_spec(), str(path))
+        assert meta["recorded_events"] > 0
+        assert meta["dropped_events"] == 0
+        document = json.loads(path.read_text())
+        _check_schema(document)
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_export_is_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        export_chrome_trace(_spec(), str(a))
+        export_chrome_trace(_spec(), str(b))
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestRecorderWarning:
+    def test_drop_warning_emitted_once(self):
+        messages = []
+        recorder = TraceRecorder(capacity=2, log=messages.append)
+        for i in range(5):
+            recorder.record(0.1 * i, "core0", "arrival", i)
+        assert recorder.dropped == 3
+        assert len(messages) == 1
+        assert "dropp" in messages[0]

@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.store import (
+    FORMAT_VERSION,
     ResultStore,
     code_version_salt,
     decode_samples,
@@ -80,9 +81,9 @@ class TestSketchSerialization:
             _spec(seed=seed, sketch_error=0.01).execute() for seed in (7, 8)
         ]
 
-    def test_v3_record_carries_sketch_not_samples(self, sketch_results):
+    def test_record_carries_sketch_not_samples(self, sketch_results):
         data = result_to_dict(sketch_results[0])
-        assert data["format"] == 3
+        assert data["format"] == FORMAT_VERSION
         assert "server_latency_sketch" in data
         assert "server_latency_samples" not in data
 
