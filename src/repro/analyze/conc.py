@@ -95,6 +95,13 @@ PARENT_ONLY_MODULES = frozenset(
     {"argparse", "curses", "tkinter", "readline", "repro.cli"}
 )
 
+#: Modules that are worker entry points by *contract* rather than by a
+#: submission site the call graph can see: ``repro worker`` processes —
+#: bare interpreters, possibly on other hosts — import these first,
+#: so their import-time behaviour is held to the same parent-only-free
+#: standard as callgraph-detected entry modules (CONC004 part b).
+WORKER_ENTRY_MODULES = frozenset({"repro.distrib.worker"})
+
 #: Methods that mutate the receiver in place (write detection for
 #: CONC002/CONC003 on container globals).
 _MUTATORS = frozenset(
@@ -527,7 +534,14 @@ def _check_parent_only_imports(
                     )
     # (b) module-level imports of worker-entry modules: importing the
     # entry function's module is the first thing every worker does.
+    # Declared entries (the `repro worker` loop) are included even when
+    # no in-repo submission site references them — external workers
+    # import them from a bare interpreter.
     entry_modules = {root.module for root in graph.submitted_roots()}
+    for dotted in WORKER_ENTRY_MODULES:
+        declared = graph.modules.get(dotted)
+        if declared is not None:
+            entry_modules.add(declared)
     for module in sorted(entry_modules, key=lambda m: m.path):
         for stmt in module.tree.body:
             for mod in _imported_modules(stmt):

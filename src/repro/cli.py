@@ -124,6 +124,7 @@ def _configured_runner(
     progress: Optional[ProgressRenderer] = None,
     shards: Optional[int] = None,
     manifest=None,
+    queue_dir: Optional[str] = None,
 ) -> Iterator[SweepRunner]:
     """Point the process-wide runner at this command's configuration.
 
@@ -131,8 +132,27 @@ def _configured_runner(
     failure policy, progress hooks) never leak into later programmatic use
     of :func:`repro.sweep.default_runner` in the same process.
     """
+    from repro.errors import ConfigurationError
+
     previous = default_runner()
-    if shards is not None:
+    store = _make_store(no_cache, cache_dir)
+    if queue_dir is not None:
+        # --distributed: coordinate lease-claiming worker processes over
+        # a shared queue directory; the store is the result channel.
+        from repro.distrib import DistributedExecutor
+
+        if store is None:
+            raise ConfigurationError(
+                "--distributed requires a writable result store: workers "
+                "return results through it (do not pass --no-cache)"
+            )
+        executor: object = DistributedExecutor(
+            queue_dir,
+            store_dir=str(store.root),
+            jobs=jobs if jobs is not None else 3,
+            policy=policy,
+        )
+    elif shards is not None:
         # --shards parallelises *within* each cluster point (node-range
         # sharding, exact merge) instead of across points.
         executor = ShardedExecutor(shards, jobs=jobs, policy=policy)
@@ -142,7 +162,7 @@ def _configured_runner(
         executor=executor,
         jobs=jobs,
         progress=progress,
-        store=_make_store(no_cache, cache_dir),
+        store=store,
         policy=policy,
         manifest=manifest,
     )
@@ -172,12 +192,20 @@ def cmd_run(
     fmt: str = "table",
     quick: bool = False,
     params: Optional[List[str]] = None,
+    distributed: Optional[str] = None,
 ) -> int:
     """Run experiments through one batched sweep; print or write files."""
     known = experiment_ids()
     targets = known if run_all else ids
     if not targets:
         print("nothing to run: name experiments or pass --all", file=sys.stderr)
+        return EXIT_USAGE
+    if distributed is not None and no_cache:
+        print(
+            "--distributed cannot be combined with --no-cache: workers "
+            "return results through the shared store",
+            file=sys.stderr,
+        )
         return EXIT_USAGE
     unknown = [i for i in targets if i not in known]
     if unknown:
@@ -211,7 +239,9 @@ def cmd_run(
     progress = None
     if jobs is not None and jobs > 1:
         progress = ProgressRenderer(label="run")
-    with _configured_runner(jobs, no_cache, cache_dir, progress=progress) as runner:
+    with _configured_runner(
+        jobs, no_cache, cache_dir, progress=progress, queue_dir=distributed,
+    ) as runner:
         # One deduplicated batched sweep for the union of all grids:
         # shared points (Fig 10 ⊇ Fig 9, Table 5 ⊇ Fig 8) simulate once.
         try:
@@ -344,7 +374,31 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     try:
         from repro.errors import ConfigurationError
 
-        if args.timeout is not None and (args.jobs is None or args.jobs <= 1):
+        if args.distributed is not None:
+            # Checked before the generic --timeout/--jobs rules: under
+            # --distributed, --jobs counts worker processes, and the
+            # distributed-specific messages are the useful ones.
+            if args.no_cache:
+                raise ConfigurationError(
+                    "--distributed cannot be combined with --no-cache: "
+                    "workers return results through the shared store"
+                )
+            if args.shards is not None:
+                raise ConfigurationError(
+                    "--distributed cannot be combined with --shards"
+                )
+            if args.timeout is not None:
+                raise ConfigurationError(
+                    "--distributed does not take --timeout: runaway "
+                    "points are bounded by lease expiry instead"
+                )
+            if _make_store(False, args.cache_dir) is None:
+                raise ConfigurationError(
+                    "--distributed requires a writable result store"
+                )
+        if args.timeout is not None and args.distributed is None and (
+            args.jobs is None or args.jobs <= 1
+        ):
             # Accepting the flag but never enforcing it would be worse
             # than rejecting it: serial execution cannot interrupt a
             # running point.
@@ -379,6 +433,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     with manifest_scope as manifest, _configured_runner(
         args.jobs, args.no_cache, args.cache_dir, policy=policy,
         progress=progress, shards=args.shards, manifest=manifest,
+        queue_dir=args.distributed,
     ) as runner:
         try:
             results = runner.run_grid(grid)
@@ -453,6 +508,38 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return EXIT_ERROR if n_failed else EXIT_OK
 
 
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Join a distributed sweep as one lease-claiming worker process."""
+    from repro.distrib.worker import default_worker_id, worker_main
+    from repro.errors import ConfigurationError
+
+    try:
+        if args.lease <= 0:
+            raise ConfigurationError(f"--lease must be positive, got {args.lease}")
+        if args.retries < 0:
+            raise ConfigurationError(
+                f"--retries must be >= 0, got {args.retries}"
+            )
+        if args.max_points is not None and args.max_points <= 0:
+            raise ConfigurationError(
+                f"--max-points must be positive, got {args.max_points}"
+            )
+    except ReproError as exc:
+        print(f"invalid worker: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    log = (lambda message: print(message, file=sys.stderr)) if args.verbose else None
+    return worker_main(
+        queue_dir=args.queue,
+        store_dir=args.store,
+        worker_id=args.id or default_worker_id(),
+        lease_s=args.lease,
+        retries=args.retries,
+        drain=not args.no_drain,
+        max_points=args.max_points,
+        log=log,
+    )
+
+
 def _trace_spec(args: argparse.Namespace):
     """Build the single ScenarioSpec a ``repro trace`` run records."""
     from repro.sweep.spec import ScenarioSpec
@@ -505,8 +592,12 @@ def cmd_report(args: argparse.Namespace) -> int:
 
     known = experiment_ids()
     targets = known if args.all else args.ids
-    if not targets:
-        print("nothing to report: name experiments or pass --all", file=sys.stderr)
+    if not targets and args.manifest is None:
+        print(
+            "nothing to report: name experiments, pass --all, or pass "
+            "--manifest for a manifest-only report",
+            file=sys.stderr,
+        )
         return EXIT_USAGE
     unknown = [i for i in targets if i not in known]
     if unknown:
@@ -661,6 +752,13 @@ def build_parser() -> argparse.ArgumentParser:
              "engine loop plus periodic deep audits; results stay "
              "bit-identical, simulation runs a constant factor slower",
     )
+    run.add_argument(
+        "--distributed", metavar="QUEUE_DIR", default=None,
+        help="fan sweep points out to lease-claiming worker processes "
+             "over this queue directory (-j sets the local worker count; "
+             "external `repro worker` processes may join); rerunning "
+             "with the same directory resumes a crashed run",
+    )
     add_cache_flags(run)
 
     sweep = sub.add_parser(
@@ -787,7 +885,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="run with the runtime sim-sanitizer (SAN rules); worker "
              "processes inherit the setting via REPRO_SANITIZE",
     )
+    sweep.add_argument(
+        "--distributed", metavar="QUEUE_DIR", default=None,
+        help="fan points out to lease-claiming worker processes over "
+             "this queue directory (-j sets the local worker count, "
+             "default 3; external `repro worker --queue QUEUE_DIR` "
+             "processes may join); rerunning with the same directory "
+             "resumes a crashed run, skipping store-hit points",
+    )
     add_cache_flags(sweep)
+
+    worker = sub.add_parser(
+        "worker",
+        help="join a distributed sweep: claim points from a queue "
+             "directory under a heartbeat-extended lease, write results "
+             "to the shared store, exit when the queue drains",
+    )
+    worker.add_argument(
+        "--queue", metavar="DIR", required=True,
+        help="queue directory of the coordinating `repro sweep --distributed`",
+    )
+    worker.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="shared result store — must be the coordinator's store "
+             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    worker.add_argument(
+        "--id", metavar="NAME", default=None,
+        help="worker identity for leases and the manifest (default: host-pid)",
+    )
+    worker.add_argument(
+        "--lease", type=float, default=30.0, metavar="SECONDS",
+        help="lease duration per claimed point; the heartbeat extends it "
+             "at a third of this period (default: 30)",
+    )
+    worker.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="requeue a failing point up to N times (with backoff) "
+             "before recording a terminal failure (default: 0)",
+    )
+    worker.add_argument(
+        "--no-drain", action="store_true",
+        help="stay parked for more work after the queue drains (until "
+             "SIGTERM) instead of exiting",
+    )
+    worker.add_argument(
+        "--max-points", type=int, default=None, metavar="N",
+        help="exit after settling N points (smoke tests)",
+    )
+    worker.add_argument(
+        "--verbose", action="store_true",
+        help="log worker lifecycle to stderr",
+    )
+    worker.add_argument(
+        "--sanitize", action="store_true",
+        help="run claimed points under the runtime sim-sanitizer",
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -849,7 +1002,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument(
         "--manifest", metavar="FILE", default=None,
-        help="include a summary of this sweep run-manifest JSONL",
+        help="include a summary of this sweep run-manifest JSONL; pass a "
+             "distributed sweep's <queue_dir>/manifests directory for "
+             "the per-worker fleet view (tolerates manifests from "
+             "killed workers)",
     )
     report.add_argument(
         "-o", "--output", metavar="FILE", default="report.html",
@@ -1074,6 +1230,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return cmd_list()
             if args.command == "sweep":
                 return cmd_sweep(args)
+            if args.command == "worker":
+                return cmd_worker(args)
             if args.command == "trace":
                 return cmd_trace(args)
             if args.command == "report":
@@ -1088,6 +1246,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.ids, args.all, args.output_dir, args.jobs,
                 no_cache=args.no_cache, cache_dir=args.cache_dir,
                 fmt=args.format, quick=args.quick, params=args.params,
+                distributed=args.distributed,
             )
     except BrokenPipeError:
         # `repro ... | head` closes stdout early; that is the reader's

@@ -10,8 +10,9 @@ perturbing them:
   TraceRecorder` events as Chrome trace-event JSON for Perfetto /
   ``chrome://tracing`` (``repro trace run ... -o trace.json``).
 - :mod:`repro.obs.manifest` — append-only JSONL lifecycle stream for
-  sweep points (claimed/started/finished/memo-hit/.../killed), the
-  heartbeat substrate for the future distributed executor.
+  sweep points (claimed/started/finished/memo-hit/.../killed) plus
+  worker heartbeats: the liveness substrate the distributed executor's
+  lease recovery and fleet report consume.
 - :mod:`repro.obs.figures` / :mod:`repro.obs.report` — figure rendering
   (matplotlib when available, pure-SVG fallback otherwise) and the
   self-contained ``repro report`` HTML page.
@@ -20,7 +21,7 @@ This module keeps its imports stdlib-only so simulation-layer modules
 (``cluster.sharding`` merges timelines) can import it without cycles.
 """
 
-from repro.obs.manifest import RunManifest  # noqa: F401
+from repro.obs.manifest import RunManifest, tail_summary  # noqa: F401
 from repro.obs.timeline import (  # noqa: F401
     TIMELINE_VERSION,
     TimelineSampler,
@@ -30,6 +31,7 @@ from repro.obs.timeline import (  # noqa: F401
 
 __all__ = [
     "RunManifest",
+    "tail_summary",
     "TIMELINE_VERSION",
     "TimelineSampler",
     "aggregate_node_series",

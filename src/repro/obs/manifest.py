@@ -13,7 +13,10 @@ Every line carries:
 
 * ``event`` — the event name (``sweep``, ``claimed``, ``finished``,
   ``memo_hit``, ``store_hit``, ``retry``, ``timeout``, ``killed``,
-  ``failed``, ...);
+  ``failed``, ``heartbeat`` — a distributed worker extending the lease
+  of the point it is simulating, the liveness signal the coordinator's
+  recovery is keyed off — plus worker lifecycle events
+  ``worker_start``/``worker_exit``/``released``, ...);
 * ``t`` — seconds since the manifest was opened (monotonic clock, so
   per-point wall times are robust against wall-clock steps);
 * ``wall`` — absolute POSIX time, for cross-process correlation;
@@ -100,3 +103,66 @@ class RunManifest:
 def spec_key(spec: Any) -> str:
     """Compact stable identity string for a spec in manifest lines."""
     return repr(tuple(spec.cache_key))
+
+
+def tail_summary(path: str) -> dict:
+    """Crash-tolerant summary of one manifest file (fleet-view helper).
+
+    A SIGKILLed worker may die mid-``write``, leaving a torn final line;
+    this reader treats any undecodable line as the torn tail and keeps
+    everything before it, so consumers (``repro report --manifest`` over
+    a directory of per-worker manifests) never fail on a dead worker's
+    file. Returns::
+
+        {"path", "worker",            # last writer identity, or None
+         "events",                    # well-formed lines read
+         "counts",                    # {event: count}
+         "last_event", "last_wall",   # final well-formed line, or None
+         "torn_tail"}                 # True if any line failed to parse
+
+    Unlike a torn *final* line, a torn line in the middle would mean
+    interleaved writers — still not fatal here, it just sets
+    ``torn_tail`` and skips the line.
+    """
+    counts: dict = {}
+    worker = None
+    last_event = None
+    last_wall = None
+    events = 0
+    torn = False
+    try:
+        handle = open(path, encoding="utf-8", errors="replace")
+    except OSError:
+        return {
+            "path": path, "worker": None, "events": 0, "counts": {},
+            "last_event": None, "last_wall": None, "torn_tail": True,
+        }
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+                if not isinstance(row, dict):
+                    raise ValueError("manifest line is not an object")
+            except ValueError:
+                torn = True
+                continue
+            events += 1
+            event = str(row.get("event", "?"))
+            counts[event] = counts.get(event, 0) + 1
+            last_event = event
+            if "worker" in row:
+                worker = str(row["worker"])
+            if isinstance(row.get("wall"), (int, float)):
+                last_wall = float(row["wall"])
+    return {
+        "path": path,
+        "worker": worker,
+        "events": events,
+        "counts": counts,
+        "last_event": last_event,
+        "last_wall": last_wall,
+        "torn_tail": torn,
+    }

@@ -105,6 +105,77 @@ def summarize_manifest(path: str) -> Dict[str, object]:
     }
 
 
+def summarize_manifest_dir(path: str) -> Dict[str, object]:
+    """Fleet view: crash-tolerant summary of a directory of manifests.
+
+    A distributed sweep leaves one per-worker manifest under
+    ``<queue_dir>/manifests/``; this merges their
+    :func:`~repro.obs.manifest.tail_summary` digests (torn final lines
+    from SIGKILLed workers included) into one summary with per-worker
+    rows and fleet-wide event counts.
+    """
+    from repro.obs.manifest import tail_summary
+
+    tails = [
+        tail_summary(p)
+        for p in sorted(glob.glob(os.path.join(path, "*.jsonl")))
+    ]
+    counts: Dict[str, int] = {}
+    for tail in tails:
+        for event, count in tail["counts"].items():
+            counts[event] = counts.get(event, 0) + count
+    return {"path": path, "workers": tails, "counts": counts}
+
+
+def _fleet_section(summary: Dict[str, object]) -> str:
+    tails = summary["workers"]
+    counts = summary["counts"]
+    if not tails:
+        return (
+            "<h2>Distributed fleet</h2>"
+            f'<p class="meta">{_esc(summary["path"])} &middot; '
+            "no worker manifests found</p>"
+        )
+    torn = sum(1 for tail in tails if tail["torn_tail"])
+    rows = []
+    for tail in tails:
+        tail_counts = tail["counts"]
+        settled = tail_counts.get("finished", 0) + tail_counts.get("store_hit", 0)
+        flag = ' <span class="regressed">torn tail</span>' if tail["torn_tail"] else ""
+        rows.append(
+            f"<tr><td>{_esc(tail['worker'] or os.path.basename(tail['path']))}"
+            f"{flag}</td>"
+            f"<td>{tail['events']}</td>"
+            f"<td>{settled}</td>"
+            f"<td>{tail_counts.get('heartbeat', 0)}</td>"
+            f"<td>{tail_counts.get('retry', 0) + tail_counts.get('failed', 0)}</td>"
+            f"<td>{_esc(tail['last_event'] or '—')}</td></tr>"
+        )
+    event_rows = "".join(
+        f"<tr><td>{_esc(event)}</td><td>{counts[event]}</td></tr>"
+        for event in sorted(counts)
+    )
+    torn_note = ""
+    if torn:
+        torn_note = (
+            f'<p class="regressed">{torn} worker manifest(s) end mid-line '
+            "— those workers were killed; their points were recovered by "
+            "lease expiry.</p>"
+        )
+    return (
+        "<h2>Distributed fleet</h2>"
+        f'<p class="meta">{_esc(summary["path"])} &middot; '
+        f"{len(tails)} worker manifest(s)</p>"
+        '<table class="summary"><tr><th>worker</th><th>events</th>'
+        "<th>settled</th><th>heartbeats</th><th>retried/failed</th>"
+        f"<th>last event</th></tr>{''.join(rows)}</table>"
+        f"{torn_note}"
+        '<table class="summary" style="margin-top:12px">'
+        "<tr><th>event</th><th>count</th></tr>"
+        f"{event_rows}</table>"
+    )
+
+
 def _manifest_section(summary: Dict[str, object]) -> str:
     counts = summary["counts"]
     rows = "".join(
@@ -250,7 +321,9 @@ def build_report(
         results: their analyzed ExperimentResults keyed by experiment id.
         timeline: a sampled telemetry timeline dict to plot, if any.
         timeline_label: caption for the telemetry section.
-        manifest_path: sweep run-manifest JSONL to summarize, if any.
+        manifest_path: sweep run-manifest JSONL to summarize, if any; a
+            *directory* renders the distributed-fleet view instead (one
+            crash-tolerant tail summary per worker manifest inside it).
         root: repository root for the benchmark trend (skipped if None).
         subtitle: free-text line under the page title.
     """
@@ -270,7 +343,11 @@ def build_report(
     if timeline:
         sections.append(_telemetry_section(timeline, timeline_label))
     if manifest_path:
-        sections.append(_manifest_section(summarize_manifest(manifest_path)))
+        if os.path.isdir(manifest_path):
+            # A distributed sweep's per-worker manifest directory.
+            sections.append(_fleet_section(summarize_manifest_dir(manifest_path)))
+        else:
+            sections.append(_manifest_section(summarize_manifest(manifest_path)))
     if root is not None:
         sections.append(_bench_section(root))
     return (

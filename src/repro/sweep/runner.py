@@ -133,10 +133,18 @@ class FailurePolicy:
         timeout: per-point wall-clock budget in seconds (process executor
             only), measured from submission to a free worker — points are
             never submitted while all workers are busy, so queue wait
-            does not count. A timed-out point is treated as failed; its
-            worker is abandoned (it may keep running, occupying a pool
-            slot and delaying final pool shutdown, but it cannot fail
-            other points).
+            does not count. A timed-out point is treated as failed; what
+            happens to its worker depends on the point's size (see
+            :data:`KILL_THRESHOLD_REQUESTS`). Small points (at most the
+            threshold in simulated requests) run on the shared pool, and
+            a timed-out one is merely *abandoned*: it may keep running,
+            occupying a pool slot and delaying final pool shutdown, but
+            it cannot fail other points. Points above the threshold run
+            on a dedicated killable process instead, which is
+            ``terminate()``-d on timeout so a runaway simulation stops
+            burning CPU immediately. The distributed executor ignores
+            this field — there, runaway points are bounded by lease
+            expiry and requeued on another worker.
         retries: how many times a failed/timed-out point is resubmitted
             before its failure becomes terminal.
     """

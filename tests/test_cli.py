@@ -537,3 +537,83 @@ class TestSweepEmit:
         # spec fields survive alongside the detail
         assert record["workload"] == "memcached"
         assert record["governor"] == "menu"
+
+
+class TestDistributedCLI:
+    """`repro sweep --distributed`, `repro worker`, fleet reports."""
+
+    def test_parser_accepts_distributed_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--kqps", "20", "--distributed", "/tmp/q"]
+        )
+        assert args.distributed == "/tmp/q"
+        args = build_parser().parse_args(
+            ["worker", "--queue", "/tmp/q", "--lease", "10", "--retries", "2"]
+        )
+        assert args.command == "worker"
+        assert args.queue == "/tmp/q"
+        assert args.lease == 10.0
+        assert args.retries == 2
+
+    def test_distributed_rejects_no_cache(self, tmp_path, capsys):
+        code = main([
+            "sweep", "--kqps", "20", "--distributed", str(tmp_path / "q"),
+            "--no-cache",
+        ])
+        assert code == EXIT_USAGE
+        assert "store" in capsys.readouterr().err
+
+    def test_distributed_rejects_timeout(self, tmp_path, capsys):
+        code = main([
+            "sweep", "--kqps", "20", "--distributed", str(tmp_path / "q"),
+            "--timeout", "5", "--cache-dir", str(tmp_path / "store"),
+        ])
+        assert code == EXIT_USAGE
+        assert "lease" in capsys.readouterr().err
+
+    def test_worker_rejects_bad_lease(self, tmp_path, capsys):
+        code = main([
+            "worker", "--queue", str(tmp_path / "q"), "--lease", "0",
+        ])
+        assert code == EXIT_USAGE
+        assert "--lease" in capsys.readouterr().err
+
+    def test_worker_drains_empty_queue_and_exits(self, tmp_path, capsys):
+        code = main([
+            "worker", "--queue", str(tmp_path / "q"),
+            "--store", str(tmp_path / "store"), "--verbose",
+        ])
+        assert code == EXIT_OK
+        assert "exiting" in capsys.readouterr().err
+
+    def test_distributed_sweep_end_to_end_then_resumes(self, tmp_path, capsys):
+        argv = [
+            "sweep", "--config", "baseline", "--kqps", "20",
+            "--horizon", "0.01", "--seed", "1", "2",
+            "--distributed", str(tmp_path / "q"), "--jobs", "2",
+            "--cache-dir", str(tmp_path / "store"),
+        ]
+        assert main(argv) == EXIT_OK
+        first = capsys.readouterr().out
+        assert "baseline" in first and "20K" in first
+        # Same queue dir again: resumes purely from store hits.
+        assert main(argv) == EXIT_OK
+        assert capsys.readouterr().out == first
+
+    def test_manifest_only_fleet_report(self, tmp_path, capsys):
+        from repro.obs.manifest import RunManifest
+
+        manifests = tmp_path / "manifests"
+        manifests.mkdir()
+        with RunManifest(str(manifests / "w1.jsonl"), worker="w1") as m:
+            m.emit("worker_start", pid=1)
+            m.emit("worker_exit", claims=0, settled=0)
+        out = tmp_path / "fleet.html"
+        code = main([
+            "report", "--manifest", str(manifests), "-o", str(out),
+            "--cache-dir", str(tmp_path / "store"),
+        ])
+        assert code == EXIT_OK
+        page = out.read_text()
+        assert "Distributed fleet" in page
+        assert "w1" in page

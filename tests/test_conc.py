@@ -362,3 +362,33 @@ def test_injected_lambda_fails_lint_with_anchor(tmp_path):
     assert [f.rule_id for f in findings] == ["CONC001"]
     assert findings[0].line == bad_line
     assert findings[0].anchor.endswith(f"runner.py:{bad_line}:23")
+
+
+def test_conc004_declared_worker_entry_module(tmp_path):
+    """repro.distrib.worker is a declared worker entry point: bare
+    spawned interpreters import it, so a module-level parent-only
+    import is a finding even with no submission site in sight."""
+    findings = conc_one(
+        tmp_path, "distrib/worker.py",
+        "import argparse\n"
+        "\n"
+        "def worker_main(queue_dir):\n"
+        "    return 0\n",
+    )
+    assert rule_ids(findings) == ["CONC004"]
+    assert findings[0].line == 1
+    assert "'argparse'" in findings[0].message
+
+
+def test_conc004_same_import_elsewhere_not_flagged(tmp_path):
+    """The identical module body outside the declared entry set (and
+    with no submission site) stays clean — the finding above is the
+    WORKER_ENTRY_MODULES contract, not a blanket import ban."""
+    findings = conc_one(
+        tmp_path, "distrib/queue.py",
+        "import argparse\n"
+        "\n"
+        "def worker_main(queue_dir):\n"
+        "    return 0\n",
+    )
+    assert findings == []

@@ -149,3 +149,69 @@ class TestSummarize:
         assert summary["finished_wall_s"] > 0
         assert summary["mean_events_per_s"] > 0
         assert summary["malformed_lines"] == 1
+
+
+class TestTailSummary:
+    """Crash-tolerant reading of a dead worker's manifest file."""
+
+    def _write_events(self, path, events):
+        with RunManifest(str(path), worker="w7") as manifest:
+            for event, fields in events:
+                manifest.emit(event, **fields)
+
+    def test_clean_file_summary(self, tmp_path):
+        from repro.obs.manifest import tail_summary
+
+        path = tmp_path / "w7.jsonl"
+        self._write_events(path, [
+            ("worker_start", {"pid": 1}),
+            ("claimed", {"job": "abc"}),
+            ("finished", {"job": "abc", "wall_s": 0.1}),
+        ])
+        summary = tail_summary(str(path))
+        assert summary["worker"] == "w7"
+        assert summary["events"] == 3
+        assert summary["counts"] == {
+            "worker_start": 1, "claimed": 1, "finished": 1,
+        }
+        assert summary["last_event"] == "finished"
+        assert summary["torn_tail"] is False
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        """A SIGKILL mid-write leaves a half-flushed last line; the
+        summary must keep everything before it and flag the tear."""
+        from repro.obs.manifest import tail_summary
+
+        path = tmp_path / "w7.jsonl"
+        self._write_events(path, [
+            ("worker_start", {"pid": 1}),
+            ("claimed", {"job": "abc"}),
+        ])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "finish')  # no newline: torn by SIGKILL
+        summary = tail_summary(str(path))
+        assert summary["torn_tail"] is True
+        assert summary["events"] == 2  # well-formed prefix preserved
+        assert summary["counts"] == {"worker_start": 1, "claimed": 1}
+        assert summary["last_event"] == "claimed"
+
+    def test_missing_file_is_a_tear_not_a_crash(self, tmp_path):
+        from repro.obs.manifest import tail_summary
+
+        summary = tail_summary(str(tmp_path / "never-written.jsonl"))
+        assert summary["torn_tail"] is True
+        assert summary["events"] == 0
+        assert summary["counts"] == {}
+
+    def test_binary_garbage_line_skipped(self, tmp_path):
+        from repro.obs.manifest import tail_summary
+
+        path = tmp_path / "w7.jsonl"
+        self._write_events(path, [("worker_start", {"pid": 1})])
+        with open(path, "ab") as handle:
+            handle.write(b"\x00\xff\xfe garbage \n")
+        self._write_events(path, [("worker_exit", {"settled": 0})])
+        summary = tail_summary(str(path))
+        assert summary["torn_tail"] is True
+        assert summary["events"] == 2
+        assert summary["last_event"] == "worker_exit"

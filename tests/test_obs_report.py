@@ -179,3 +179,46 @@ class TestBenchTrend:
         page = build_report([], {}, root=find_repo_root())
         assert "Benchmark trend" in page
         assert "test_bench_server_node_100k_qps" in page
+
+
+class TestFleetReport:
+    """``repro report --manifest <dir>`` renders the whole worker fleet."""
+
+    @pytest.fixture()
+    def manifest_dir(self, tmp_path):
+        from repro.obs.manifest import RunManifest
+
+        root = tmp_path / "manifests"
+        root.mkdir()
+        with RunManifest(str(root / "w1.jsonl"), worker="w1") as m:
+            m.emit("worker_start", pid=11)
+            m.emit("claimed", job="aaa")
+            m.emit("finished", job="aaa", wall_s=0.2)
+            m.emit("heartbeat", job="aaa", held=True)
+            m.emit("worker_exit", claims=1, settled=1)
+        with RunManifest(str(root / "w2.jsonl"), worker="w2") as m:
+            m.emit("worker_start", pid=22)
+            m.emit("claimed", job="bbb")
+        # w2 was SIGKILLed mid-write: torn final line.
+        with open(root / "w2.jsonl", "a", encoding="utf-8") as handle:
+            handle.write('{"event": "finis')
+        return root
+
+    def test_summarize_manifest_dir_merges_workers(self, manifest_dir):
+        from repro.obs.report import summarize_manifest_dir
+
+        summary = summarize_manifest_dir(str(manifest_dir))
+        assert [w["worker"] for w in summary["workers"]] == ["w1", "w2"]
+        assert summary["counts"]["claimed"] == 2
+        assert summary["counts"]["finished"] == 1
+        torn = {w["worker"]: w["torn_tail"] for w in summary["workers"]}
+        assert torn == {"w1": False, "w2": True}
+
+    def test_build_report_renders_fleet_for_directory(self, manifest_dir):
+        page = build_report(
+            [], {}, manifest_path=str(manifest_dir), subtitle="fleet test",
+        )
+        assert "Distributed fleet" in page
+        assert "w1" in page and "w2" in page
+        assert "heartbeat" in page
+        assert "torn" in page.lower()  # the dead worker is flagged

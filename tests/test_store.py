@@ -390,3 +390,64 @@ class TestBatchedWrites:
             assert store.get(specs[0].cache_key) is not None
         finally:
             del WORKLOAD_FACTORIES["explosive_store_test"]
+
+
+# -- multi-process write safety ----------------------------------------------
+#
+# The distributed executor points N worker *processes* at the ONE shared
+# sqlite store. WAL mode plus short-lived connections with a busy
+# timeout is the whole concurrency story, so prove it holds: two
+# processes hammering ``put_many`` concurrently must lose no writes and
+# must keep the LRU clock (``last_access``) monotonic per row.
+
+def _hammer_put_many(store_dir, label, n, batch):
+    """Spawn target: commit ``n`` rows in many small contending batches."""
+    store = ResultStore(store_dir, salt="mp")
+    result = _spec(horizon=0.005, seed=0).execute()
+    for start in range(0, n, batch):
+        store.put_many(
+            [
+                ((label, i), result, None)
+                for i in range(start, min(start + batch, n))
+            ]
+        )
+
+
+class TestMultiProcessWriters:
+    def test_concurrent_put_many_loses_no_writes(self, tmp_path):
+        import multiprocessing
+        import sqlite3
+
+        n = 40
+        ctx = multiprocessing.get_context("spawn")
+        writers = [
+            ctx.Process(
+                target=_hammer_put_many,
+                args=(str(tmp_path), label, n, 4),
+            )
+            for label in ("alpha", "beta")
+        ]
+        for proc in writers:
+            proc.start()
+        for proc in writers:
+            proc.join(120.0)
+            assert proc.exitcode == 0
+        store = ResultStore(tmp_path, salt="mp")
+        assert len(store) == 2 * n  # every row from both writers landed
+        for label in ("alpha", "beta"):
+            for i in range(n):
+                assert store.get((label, i)) is not None
+
+        # The LRU clock: the get() sweep above must only ever move
+        # last_access forward past the write-time stamps.
+        conn = sqlite3.connect(str(store.path))
+        try:
+            rows = conn.execute(
+                "SELECT created_at, last_access FROM results"
+            ).fetchall()
+        finally:
+            conn.close()
+        assert len(rows) == 2 * n
+        for created_at, last_access in rows:
+            assert last_access is not None
+            assert last_access >= created_at
